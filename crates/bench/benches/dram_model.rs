@@ -1,0 +1,67 @@
+//! DRAM timing-model microbenchmarks: row-hit vs row-miss access cost,
+//! compound (tags-in-DRAM) accesses, and page-sized streaming fills.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fc_dram::{DramConfig, DramSystem};
+use fc_types::{AccessKind, PhysAddr};
+
+fn bench_access_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+
+    group.bench_function("row_hit_stream", |b| {
+        let mut dram = DramSystem::new(DramConfig::stacked_ddr3_3200());
+        let mut t = 0u64;
+        b.iter(|| {
+            let c = dram.access(PhysAddr::new(0x4000), AccessKind::Read, 1, t);
+            t = c.done;
+            black_box(c)
+        });
+    });
+
+    group.bench_function("row_conflict_stream", |b| {
+        let mut dram = DramSystem::new(DramConfig::stacked_ddr3_3200());
+        let mut t = 0u64;
+        let mut row = 0u64;
+        b.iter(|| {
+            row = row.wrapping_add(1);
+            // Same bank, alternating rows: worst-case precharge/activate.
+            let addr = PhysAddr::new((row % 2) * 2048 * 32 + 0x4000);
+            let c = dram.access(addr, AccessKind::Read, 1, t);
+            t = c.done;
+            black_box(c)
+        });
+    });
+
+    group.bench_function("compound_tag_access", |b| {
+        let mut dram = DramSystem::new(DramConfig::stacked_for_block_design());
+        let mut t = 0u64;
+        b.iter(|| {
+            let c = dram.access_compound(PhysAddr::new(0x8000), AccessKind::Read, 1, t);
+            t = c.done;
+            black_box(c)
+        });
+    });
+
+    group.bench_function("page_fill_32_blocks", |b| {
+        let mut dram = DramSystem::new(DramConfig::off_chip_open_row());
+        let mut t = 0u64;
+        let mut page = 0u64;
+        b.iter(|| {
+            page += 1;
+            let c = dram.access(PhysAddr::new(page * 2048), AccessKind::Read, 32, t);
+            t = c.done;
+            black_box(c)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_access_patterns
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the prediction structures: FHT train/predict and
+//! the Singleton Table, plus a full Footprint Cache access path. These
+//! bound the SRAM-side cost of the design (the paper argues the FHT is
+//! "not on the critical path" — here is how cheap it is in software).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fc_cache::DramCacheModel;
+use fc_types::{Footprint, MemAccess, PageAddr, PhysAddr, Pc};
+use footprint_cache::{Fht, FootprintCache, FootprintCacheConfig, SingletonTable};
+
+fn bench_fht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fht");
+    group.bench_function("train", |b| {
+        let mut fht = Fht::new(16 * 1024, 8);
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9e37_79b9);
+            fht.train(black_box(key), Footprint::from_bits(0xff00ff));
+        });
+    });
+    group.bench_function("predict_hit", |b| {
+        let mut fht = Fht::new(16 * 1024, 8);
+        for k in 0..4096u64 {
+            fht.train(k, Footprint::from_bits(k | 1));
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 4096;
+            black_box(fht.predict(black_box(k)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_singleton_table(c: &mut Criterion) {
+    c.bench_function("singleton_table/record_take", |b| {
+        let mut st = SingletonTable::new(512);
+        let mut page = 0u64;
+        b.iter(|| {
+            page = page.wrapping_add(1);
+            st.record(PageAddr::new(page), page, 3);
+            black_box(st.take(PageAddr::new(page)))
+        });
+    });
+}
+
+fn bench_footprint_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("footprint_cache");
+    group.bench_function("hit_path", |b| {
+        let mut cache = FootprintCache::new(FootprintCacheConfig::new(64 << 20));
+        cache.access(MemAccess::read(Pc::new(0x400), PhysAddr::new(0x10000), 0));
+        b.iter(|| {
+            black_box(cache.access(MemAccess::read(
+                Pc::new(0x400),
+                PhysAddr::new(0x10000),
+                0,
+            )))
+        });
+    });
+    group.bench_function("miss_alloc_path", |b| {
+        b.iter_batched(
+            || FootprintCache::new(FootprintCacheConfig::new(16 << 20)),
+            |mut cache| {
+                for page in 0..64u64 {
+                    black_box(cache.access(MemAccess::read(
+                        Pc::new(0x400),
+                        PhysAddr::new(page * 2048),
+                        0,
+                    )));
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fht, bench_singleton_table, bench_footprint_access
+);
+criterion_main!(benches);

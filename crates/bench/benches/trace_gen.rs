@@ -1,0 +1,31 @@
+//! Workload-generator throughput: records per second for each synthetic
+//! workload (the experiment harness streams hundreds of millions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fc_trace::{TraceGenerator, WorkloadKind};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen");
+    const BATCH: u64 = 10_000;
+    group.throughput(Throughput::Elements(BATCH));
+    for w in WorkloadKind::ALL {
+        group.bench_with_input(BenchmarkId::new("stream", w.name()), &w, |b, &w| {
+            let mut generator = TraceGenerator::new(w, 16, 42);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    black_box(generator.next());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 12: the minimum ideal cache size needed to cover a given
+//! fraction of accesses (hot-page analysis with 4 KB pages, perfect
+//! prediction, ideal replacement) — why CHOP-style hot-page filtering
+//! fails on scale-out datasets.
+
+use fc_sim::analysis::coverage_curve;
+use fc_trace::{TraceGenerator, WorkloadKind};
+
+use crate::experiments::Table;
+
+/// Trace records analyzed per workload.
+const RECORDS: usize = 4_000_000;
+
+/// Regenerates Figure 12.
+pub fn fig12() -> String {
+    let fractions = [0.2, 0.4, 0.6, 0.8];
+    let mut header = vec!["workload".to_string()];
+    header.extend(fractions.iter().map(|f| format!("{:.0}%", f * 100.0)));
+    let mut table = Table::new(&header);
+
+    for w in WorkloadKind::ALL {
+        let records = TraceGenerator::new(w, 16, 42 ^ (w as u64) << 8).take(RECORDS);
+        let curve = coverage_curve(records, 4096, &fractions);
+        let mut row = vec![w.name().to_string()];
+        for (_, mb) in curve {
+            row.push(format!("{mb:.0} MB"));
+        }
+        table.row(row);
+    }
+    format!(
+        "## Figure 12 — ideal cache size vs fraction of covered accesses\n\n\
+         Minimum cache size (4 KB pages, perfect predictor, ideal\n\
+         replacement) capturing a given fraction of all accesses.\n\n\
+         Paper: scale-out datasets have no compact hot set — capturing\n\
+         80% of accesses needs caches beyond 1 GB, which is why hot-page\n\
+         filtering [13] underperforms here.\n\n{}",
+        table.to_markdown()
+    )
+}

@@ -1,0 +1,50 @@
+//! Figure 4: page access density (demanded 64-byte blocks per 2 KB page
+//! at eviction) as a function of cache capacity, measured on the
+//! page-based cache.
+
+use fc_cache::DensityHistogram;
+use fc_sim::DesignKind;
+use fc_trace::WorkloadKind;
+
+use crate::experiments::{pct, Table, CAPACITIES_MB};
+use crate::Lab;
+
+/// Regenerates Figure 4.
+pub fn fig4(lab: &mut Lab) -> String {
+    let mut header = vec!["workload".to_string(), "MB".to_string()];
+    header.extend(DensityHistogram::LABELS.iter().map(|s| s.to_string()));
+    header.push("mean".into());
+    let mut table = Table::new(&header);
+
+    for w in WorkloadKind::ALL {
+        for mb in CAPACITIES_MB {
+            let report = lab.run(w, DesignKind::Page { mb });
+            let f = report.cache.density.fractions();
+            // Approximate mean density from bin representatives.
+            let reps = [1.0, 2.5, 5.5, 11.5, 23.5, 32.0];
+            let mean: f64 = f.iter().zip(reps).map(|(p, r)| p * r).sum();
+            let mut row = vec![w.name().to_string(), format!("{mb}")];
+            row.extend(f.iter().map(|&x| pct(x)));
+            row.push(format!("{mean:.1}"));
+            table.row(row);
+        }
+    }
+
+    format!(
+        "## Figure 4 — page access density vs cache capacity\n\n\
+         Fraction of pages evicted with a given number of demanded blocks\n\
+         (2 KB pages; measured on the page-based cache, as the paper's\n\
+         trace analysis does).\n\n\
+         Paper: density *increases with capacity* (longer residency) for\n\
+         the scale-out workloads; MapReduce is very sparse at 64–128 MB;\n\
+         the multiprogrammed mix shows no regular trend; singleton (1\n\
+         block) pages are a significant fraction throughout.\n\n\
+         Reproduction note: the growth is clearest where visit spans\n\
+         exceed small-cache residency (MapReduce's mean density more than\n\
+         doubles from 64 MB to 512 MB) and in the truncation-sensitive\n\
+         2-3-block bin, which grows monotonically with capacity for every\n\
+         workload; the high-locality workloads' visits already complete\n\
+         within the 64 MB residency, so their density saturates early.\n\n{}",
+        table.to_markdown()
+    )
+}

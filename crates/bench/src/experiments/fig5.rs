@@ -1,0 +1,62 @@
+//! Figure 5: (a) DRAM-cache miss ratio and (b) off-chip bandwidth
+//! normalized to the baseline, for the page-based, Footprint, and
+//! block-based designs across capacities.
+
+use fc_sim::DesignKind;
+use fc_trace::WorkloadKind;
+
+use crate::experiments::{pct, Table, CAPACITIES_MB};
+use crate::Lab;
+
+/// Regenerates Figures 5a and 5b.
+pub fn fig5(lab: &mut Lab) -> String {
+    let mut miss = Table::new(&["workload", "MB", "Page", "Footprint", "Block"]);
+    let mut bw = Table::new(&[
+        "workload",
+        "MB",
+        "Page",
+        "Footprint",
+        "Block",
+        "(baseline = 1.0)",
+    ]);
+
+    for w in WorkloadKind::ALL {
+        let base_bpi = lab
+            .run(w, DesignKind::Baseline)
+            .offchip_bytes_per_inst()
+            .max(1e-12);
+        for mb in CAPACITIES_MB {
+            let page = lab.run(w, DesignKind::Page { mb });
+            let fp = lab.run(w, DesignKind::Footprint { mb });
+            let block = lab.run(w, DesignKind::Block { mb });
+            miss.row(vec![
+                w.name().into(),
+                format!("{mb}"),
+                pct(page.cache.miss_ratio()),
+                pct(fp.cache.miss_ratio()),
+                pct(block.cache.miss_ratio()),
+            ]);
+            bw.row(vec![
+                w.name().into(),
+                format!("{mb}"),
+                format!("{:.2}", page.offchip_bytes_per_inst() / base_bpi),
+                format!("{:.2}", fp.offchip_bytes_per_inst() / base_bpi),
+                format!("{:.2}", block.offchip_bytes_per_inst() / base_bpi),
+                String::new(),
+            ]);
+        }
+    }
+
+    format!(
+        "## Figure 5a — DRAM cache miss ratio\n\n\
+         Paper: page-based achieves up to an order of magnitude lower miss\n\
+         ratio than block-based (MapReduce at 64/128 MB excepted);\n\
+         Footprint stays close to page-based. SAT Solver's drifting\n\
+         dataset widens the Footprint/page gap at small capacities.\n\n{}\n\
+         ## Figure 5b — off-chip traffic (normalized to baseline)\n\n\
+         Paper: page-based inflates off-chip traffic by up to ~9x;\n\
+         Footprint needs almost the same bandwidth as block-based.\n\n{}",
+        miss.to_markdown(),
+        bw.to_markdown()
+    )
+}

@@ -1,0 +1,153 @@
+//! Tables 1 and 4: the qualitative design comparison (computed from
+//! measurements) and the SRAM storage/latency table.
+
+use fc_cache::{BlockBasedCache, DramCacheModel, PageBasedCache};
+use fc_sim::DesignKind;
+use fc_trace::WorkloadKind;
+use fc_types::{mean, PageGeometry};
+use footprint_cache::{FootprintCache, FootprintCacheConfig};
+
+use crate::experiments::{pct, Table};
+use crate::Lab;
+
+/// Regenerates Table 4: per-design SRAM structures across capacities,
+/// with the paper's reported values alongside.
+pub fn table4() -> String {
+    let mut table = Table::new(&[
+        "capacity",
+        "design",
+        "structure",
+        "MB (ours)",
+        "MB (paper)",
+        "cycles (ours)",
+        "cycles (paper)",
+    ]);
+    // Paper values from Table 4: (capacity MB, fc tags MB, fc cycles,
+    // missmap MB, missmap cycles, page tags MB, page cycles).
+    let paper = [
+        (64u64, 0.40, 4u32, 1.95, 9u32, 0.22, 4u32),
+        (128, 0.80, 6, 1.95, 9, 0.44, 5),
+        (256, 1.58, 9, 1.95, 9, 0.86, 6),
+        (512, 3.12, 11, 2.92, 11, 1.69, 9),
+    ];
+    const MB: f64 = (1u64 << 20) as f64;
+    for (cap, fc_mb, fc_cyc, mm_mb, mm_cyc, pg_mb, pg_cyc) in paper {
+        let fc = FootprintCache::new(FootprintCacheConfig::new(cap << 20));
+        let tags = &fc.storage()[0];
+        table.row(vec![
+            format!("{cap} MB"),
+            "Footprint".into(),
+            "tag array".into(),
+            format!("{:.2}", tags.bytes as f64 / MB),
+            format!("{fc_mb:.2}"),
+            format!("{}", tags.latency_cycles),
+            format!("{fc_cyc}"),
+        ]);
+        let block = BlockBasedCache::new(cap << 20);
+        let mm = &block.storage()[0];
+        table.row(vec![
+            format!("{cap} MB"),
+            "Block-based".into(),
+            "MissMap".into(),
+            format!("{:.2}", mm.bytes as f64 / MB),
+            format!("{mm_mb:.2}"),
+            format!("{}", mm.latency_cycles),
+            format!("{mm_cyc}"),
+        ]);
+        let page = PageBasedCache::new(cap << 20, PageGeometry::default());
+        let pt = &page.storage()[0];
+        table.row(vec![
+            format!("{cap} MB"),
+            "Page-based".into(),
+            "page tags".into(),
+            format!("{:.2}", pt.bytes as f64 / MB),
+            format!("{pg_mb:.2}"),
+            format!("{}", pt.latency_cycles),
+            format!("{pg_cyc}"),
+        ]);
+    }
+    format!(
+        "## Table 4 — SRAM storage and lookup latency per design\n\n\
+         Computed from each design's storage model; paper values for\n\
+         comparison. (Footprint Cache additionally carries its 144 KB FHT\n\
+         and 3 KB Singleton Table, reproduced exactly.)\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Regenerates Table 1 as a *measured* comparison at 256 MB, averaged
+/// over all six workloads.
+pub fn table1(lab: &mut Lab) -> String {
+    let mb = 256u64;
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("hit ratio", Vec::new()),
+        ("off-chip traffic vs baseline", Vec::new()),
+        ("stacked row-buffer hit ratio", Vec::new()),
+        ("fetched blocks demanded (capacity mgmt)", Vec::new()),
+    ];
+    let designs = [
+        DesignKind::Block { mb },
+        DesignKind::Page { mb },
+        DesignKind::Footprint { mb },
+    ];
+    for d in designs {
+        let mut hit = Vec::new();
+        let mut traffic = Vec::new();
+        let mut rowhit = Vec::new();
+        let mut useful = Vec::new();
+        for w in WorkloadKind::ALL {
+            let base = lab.run(w, DesignKind::Baseline).offchip_bytes_per_inst();
+            let r = lab.run(w, d);
+            hit.push(r.cache.hit_ratio());
+            traffic.push(r.offchip_bytes_per_inst() / base.max(1e-12));
+            rowhit.push(r.stacked.row_hit_ratio());
+            let demanded = r.cache.hits + r.cache.misses - r.cache.bypasses;
+            useful.push((demanded as f64 / r.cache.fill_blocks.max(1) as f64).min(1.0));
+        }
+        rows[0].1.push(mean(&hit));
+        rows[1].1.push(mean(&traffic));
+        rows[2].1.push(mean(&rowhit));
+        rows[3].1.push(mean(&useful));
+    }
+
+    let mut table = Table::new(&["criterion (mean, 256 MB)", "Block", "Page", "Footprint"]);
+    for (name, vals) in rows {
+        let fmt = |x: f64| {
+            if name.contains("traffic") {
+                format!("{x:.2}x")
+            } else {
+                pct(x)
+            }
+        };
+        table.row(vec![
+            name.into(),
+            fmt(vals[0]),
+            fmt(vals[1]),
+            fmt(vals[2]),
+        ]);
+    }
+
+    // SRAM structures come from the storage models (no simulation).
+    let block = BlockBasedCache::new(mb << 20);
+    let page = PageBasedCache::new(mb << 20, PageGeometry::default());
+    let fc = FootprintCache::new(FootprintCacheConfig::new(mb << 20));
+    const MBF: f64 = (1u64 << 20) as f64;
+    let sum = |items: Vec<fc_cache::StorageItem>| -> f64 {
+        items.iter().map(|i| i.bytes as f64).sum::<f64>() / MBF
+    };
+    table.row(vec![
+        "SRAM metadata (MB)".into(),
+        format!("{:.2}", sum(block.storage())),
+        format!("{:.2}", sum(page.storage())),
+        format!("{:.2}", sum(fc.storage())),
+    ]);
+
+    format!(
+        "## Table 1 — block- vs page-based vs Footprint, measured\n\n\
+         The paper's Table 1 is qualitative; this reproduces it with\n\
+         measurements at 256 MB (workload means). Expected: block wins\n\
+         only on traffic and capacity management; page wins hit ratio and\n\
+         DRAM locality but explodes traffic; Footprint checks every box.\n\n{}",
+        table.to_markdown()
+    )
+}

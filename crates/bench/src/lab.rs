@@ -1,0 +1,150 @@
+//! Memoized simulation runs shared across experiments.
+
+use std::collections::BTreeMap;
+
+use fc_sim::{DesignKind, SimConfig, SimReport, Simulation};
+use fc_trace::WorkloadKind;
+
+/// How much simulated work each run performs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunScale {
+    /// Warmup records per run for a 64 MB-class design (scaled up with
+    /// capacity; the paper uses half of each trace for warmup).
+    pub warmup_base: u64,
+    /// Extra warmup records per MB of cache capacity.
+    pub warmup_per_mb: u64,
+    /// Measured records base.
+    pub measured_base: u64,
+    /// Extra measured records per MB.
+    pub measured_per_mb: u64,
+}
+
+impl RunScale {
+    /// The scale used for the checked-in experiment outputs.
+    pub fn full() -> Self {
+        Self {
+            warmup_base: 1_500_000,
+            warmup_per_mb: 15_000,
+            measured_base: 1_000_000,
+            measured_per_mb: 6_000,
+        }
+    }
+
+    /// A fast scale for smoke tests (about 20x cheaper).
+    pub fn quick() -> Self {
+        Self {
+            warmup_base: 100_000,
+            warmup_per_mb: 600,
+            measured_base: 80_000,
+            measured_per_mb: 300,
+        }
+    }
+
+    fn warmup(&self, capacity_mb: u64) -> u64 {
+        self.warmup_base + self.warmup_per_mb * capacity_mb
+    }
+
+    fn measured(&self, capacity_mb: u64) -> u64 {
+        self.measured_base + self.measured_per_mb * capacity_mb
+    }
+}
+
+/// A memoizing runner: one `(workload, design)` pair is simulated at most
+/// once per lab.
+pub struct Lab {
+    scale: RunScale,
+    config: SimConfig,
+    results: BTreeMap<(WorkloadKind, String), SimReport>,
+    verbose: bool,
+    runs: u64,
+}
+
+impl Lab {
+    /// Creates a lab at the given scale.
+    pub fn new(scale: RunScale) -> Self {
+        Self {
+            scale,
+            config: SimConfig::default(),
+            results: BTreeMap::new(),
+            verbose: true,
+            runs: 0,
+        }
+    }
+
+    /// Silences per-run progress lines.
+    pub fn quiet(mut self) -> Self {
+        self.verbose = false;
+        self
+    }
+
+    /// Number of distinct simulations executed.
+    pub fn runs_executed(&self) -> u64 {
+        self.runs
+    }
+
+    /// Capacity in MB used for run sizing, derived from the design.
+    fn capacity_mb(design: &DesignKind) -> u64 {
+        match design {
+            DesignKind::Baseline => 64,
+            DesignKind::Block { mb }
+            | DesignKind::Page { mb }
+            | DesignKind::Footprint { mb }
+            | DesignKind::SubBlock { mb }
+            | DesignKind::HotPage { mb }
+            | DesignKind::PageDirtyBlockWb { mb } => *mb,
+            DesignKind::FootprintCustom { config } => config.capacity_bytes >> 20,
+            DesignKind::Ideal | DesignKind::IdealLowLatency => 64,
+        }
+    }
+
+    /// Runs (or reuses) the simulation of `design` on `workload`.
+    pub fn run(&mut self, workload: WorkloadKind, design: DesignKind) -> SimReport {
+        let key = (workload, design.label());
+        if let Some(r) = self.results.get(&key) {
+            return r.clone();
+        }
+        let mb = Self::capacity_mb(&design);
+        let warmup = self.scale.warmup(mb);
+        let measured = self.scale.measured(mb);
+        if self.verbose {
+            eprintln!(
+                "[lab] {} / {} (warmup {warmup}, measured {measured})",
+                workload,
+                design.label()
+            );
+        }
+        let mut sim = Simulation::new(self.config, design);
+        let seed = 42 ^ (workload as u64) << 8;
+        let report = sim.run_workload(workload, seed, warmup, measured);
+        self.runs += 1;
+        self.results.insert(key, report.clone());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_memoized() {
+        let mut lab = Lab::new(RunScale {
+            warmup_base: 500,
+            warmup_per_mb: 0,
+            measured_base: 500,
+            measured_per_mb: 0,
+        })
+        .quiet();
+        let a = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        let b = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        assert_eq!(lab.runs_executed(), 1);
+        assert_eq!(a.insts, b.insts);
+    }
+
+    #[test]
+    fn scales_grow_with_capacity() {
+        let s = RunScale::full();
+        assert!(s.warmup(512) > s.warmup(64));
+        assert!(s.measured(512) > s.measured(64));
+    }
+}

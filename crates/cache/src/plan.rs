@@ -1,0 +1,185 @@
+//! Access plans: the functional interface between cache designs and the
+//! DRAM timing models.
+//!
+//! A design decides *what* DRAM work an access implies; the simulator's
+//! plan executor decides *when* it happens by running the ops against the
+//! stacked and off-chip [`DramSystem`](../fc_dram/struct.DramSystem.html)s.
+//! Critical ops are serialized and determine the request's latency;
+//! background ops (fills, evictions, tag updates) start concurrently and
+//! only consume bank time, bus time and energy — exactly the paper's
+//! treatment of off-critical-path traffic.
+
+use serde::{Deserialize, Serialize};
+
+use fc_types::{AccessKind, PhysAddr};
+
+/// Which DRAM a [`MemOp`] targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemTarget {
+    /// The die-stacked DRAM (cache array).
+    Stacked,
+    /// The off-chip DRAM (main memory).
+    OffChip,
+}
+
+/// How the op is scheduled at the DRAM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpFlavor {
+    /// Ordinary ACT/CAS access.
+    Simple,
+    /// Loh & Hill compound access: tag-read CAS before the data CAS and a
+    /// tag-update burst after it (tags-in-DRAM block caches).
+    CompoundTags,
+}
+
+/// One DRAM operation: `blocks` consecutive 64-byte blocks starting at
+/// `addr` (all within one DRAM row for row-interleaved mappings when
+/// `blocks` ≤ blocks-per-row; the executor splits larger transfers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOp {
+    /// Target DRAM.
+    pub target: MemTarget,
+    /// Base byte address of the transfer.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Number of consecutive 64-byte blocks.
+    pub blocks: u32,
+    /// Scheduling flavor.
+    pub flavor: OpFlavor,
+}
+
+impl MemOp {
+    /// A simple read.
+    pub fn read(target: MemTarget, addr: PhysAddr, blocks: u32) -> Self {
+        Self {
+            target,
+            addr,
+            kind: AccessKind::Read,
+            blocks,
+            flavor: OpFlavor::Simple,
+        }
+    }
+
+    /// A simple write.
+    pub fn write(target: MemTarget, addr: PhysAddr, blocks: u32) -> Self {
+        Self {
+            target,
+            addr,
+            kind: AccessKind::Write,
+            blocks,
+            flavor: OpFlavor::Simple,
+        }
+    }
+
+    /// A compound tags-in-DRAM access (block-based design).
+    pub fn compound(target: MemTarget, addr: PhysAddr, kind: AccessKind) -> Self {
+        Self {
+            target,
+            addr,
+            kind,
+            blocks: 1,
+            flavor: OpFlavor::CompoundTags,
+        }
+    }
+}
+
+/// The DRAM work one cache access implies.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessPlan {
+    /// Whether the access hit in the DRAM cache.
+    pub hit: bool,
+    /// Whether the block bypassed the cache (fetched off-chip, forwarded
+    /// to the requestor, not allocated — singleton pages, filter misses).
+    pub bypass: bool,
+    /// SRAM lookup cycles on the critical path (tag array, MissMap).
+    pub tag_latency: u32,
+    /// Serialized ops that determine the request's latency.
+    pub critical: Vec<MemOp>,
+    /// Concurrent ops charged to bank/bus/energy only.
+    pub background: Vec<MemOp>,
+}
+
+impl AccessPlan {
+    /// A plan with only a tag lookup (e.g., a write hit absorbed by SRAM
+    /// state, or a design-internal no-op).
+    pub fn tag_only(hit: bool, tag_latency: u32) -> Self {
+        Self {
+            hit,
+            bypass: false,
+            tag_latency,
+            critical: Vec::new(),
+            background: Vec::new(),
+        }
+    }
+
+    /// Total off-chip blocks read by this plan (critical + background).
+    pub fn offchip_read_blocks(&self) -> u64 {
+        self.blocks_matching(MemTarget::OffChip, AccessKind::Read)
+    }
+
+    /// Total off-chip blocks written by this plan.
+    pub fn offchip_write_blocks(&self) -> u64 {
+        self.blocks_matching(MemTarget::OffChip, AccessKind::Write)
+    }
+
+    /// Total stacked-DRAM blocks read.
+    pub fn stacked_read_blocks(&self) -> u64 {
+        self.blocks_matching(MemTarget::Stacked, AccessKind::Read)
+    }
+
+    /// Total stacked-DRAM blocks written.
+    pub fn stacked_write_blocks(&self) -> u64 {
+        self.blocks_matching(MemTarget::Stacked, AccessKind::Write)
+    }
+
+    fn blocks_matching(&self, target: MemTarget, kind: AccessKind) -> u64 {
+        self.critical
+            .iter()
+            .chain(self.background.iter())
+            .filter(|op| op.target == target && op.kind == kind)
+            .map(|op| op.blocks as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounting_sums_both_lists() {
+        let plan = AccessPlan {
+            hit: false,
+            bypass: false,
+            tag_latency: 4,
+            critical: vec![MemOp::read(MemTarget::OffChip, PhysAddr::new(0), 1)],
+            background: vec![
+                MemOp::read(MemTarget::OffChip, PhysAddr::new(64), 11),
+                MemOp::write(MemTarget::Stacked, PhysAddr::new(0), 12),
+                MemOp::write(MemTarget::OffChip, PhysAddr::new(4096), 3),
+            ],
+        };
+        assert_eq!(plan.offchip_read_blocks(), 12);
+        assert_eq!(plan.offchip_write_blocks(), 3);
+        assert_eq!(plan.stacked_write_blocks(), 12);
+        assert_eq!(plan.stacked_read_blocks(), 0);
+    }
+
+    #[test]
+    fn constructors_set_flavor() {
+        let op = MemOp::compound(MemTarget::Stacked, PhysAddr::new(0), AccessKind::Read);
+        assert_eq!(op.flavor, OpFlavor::CompoundTags);
+        assert_eq!(op.blocks, 1);
+        let r = MemOp::read(MemTarget::OffChip, PhysAddr::new(0), 5);
+        assert_eq!(r.flavor, OpFlavor::Simple);
+        assert_eq!(r.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn tag_only_plan_is_empty() {
+        let plan = AccessPlan::tag_only(true, 9);
+        assert!(plan.hit && plan.critical.is_empty() && plan.background.is_empty());
+        assert_eq!(plan.tag_latency, 9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Footprint Cache configuration.
+
+use serde::{Deserialize, Serialize};
+
+use fc_types::PageGeometry;
+
+/// What keys the footprint predictor (Section 3.1 / Figure 8 discussion).
+///
+/// The paper settles on PC & offset: the PC alone mispredicts when data
+/// structures are not page-aligned; the offset alone conflates unrelated
+/// code. The other two variants exist for the `abl-key` ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyKind {
+    /// The paper's key: (PC, block offset within page).
+    #[default]
+    PcOffset,
+    /// Instruction address only.
+    PcOnly,
+    /// Block offset only.
+    OffsetOnly,
+}
+
+impl KeyKind {
+    /// Collapses (pc, offset) into the prediction key value.
+    #[inline]
+    pub fn key(self, pc: u64, offset: usize) -> u64 {
+        match self {
+            KeyKind::PcOffset => (pc << 6) ^ offset as u64,
+            KeyKind::PcOnly => pc,
+            KeyKind::OffsetOnly => offset as u64,
+        }
+    }
+}
+
+/// Configuration for a [`FootprintCache`](crate::FootprintCache).
+///
+/// Defaults follow the paper's evaluation setup (Table 4 / Section 5.2):
+/// 2 KB pages, 16 K-entry FHT (144 KB), 512-entry Singleton Table (3 KB),
+/// singleton optimization enabled.
+///
+/// # Examples
+///
+/// ```
+/// use footprint_cache::{FootprintCacheConfig, KeyKind};
+/// use fc_types::PageGeometry;
+///
+/// let config = FootprintCacheConfig::new(128 << 20)
+///     .with_geometry(PageGeometry::new(1024))
+///     .with_fht_entries(8192)
+///     .with_singleton_optimization(false)
+///     .with_key_kind(KeyKind::PcOnly);
+/// assert_eq!(config.capacity_bytes, 128 << 20);
+/// assert_eq!(config.geom.page_size(), 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FootprintCacheConfig {
+    /// Stacked-DRAM capacity devoted to data.
+    pub capacity_bytes: u64,
+    /// Page size / block geometry.
+    pub geom: PageGeometry,
+    /// Tag array associativity.
+    pub ways: usize,
+    /// Footprint History Table entries (Figure 9 sweeps this).
+    pub fht_entries: usize,
+    /// FHT associativity.
+    pub fht_ways: usize,
+    /// Singleton Table entries.
+    pub st_entries: usize,
+    /// Whether the singleton-page capacity optimization is active
+    /// (Section 6.5 ablates this).
+    pub singleton_optimization: bool,
+    /// Prediction key variant.
+    pub key_kind: KeyKind,
+}
+
+impl FootprintCacheConfig {
+    /// The paper's configuration at the given capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            geom: PageGeometry::default(),
+            ways: 16,
+            fht_entries: 16 * 1024,
+            fht_ways: 8,
+            st_entries: 512,
+            singleton_optimization: true,
+            key_kind: KeyKind::PcOffset,
+        }
+    }
+
+    /// Sets the page geometry (Figure 8 sweeps 1/2/4 KB pages).
+    pub fn with_geometry(mut self, geom: PageGeometry) -> Self {
+        self.geom = geom;
+        self
+    }
+
+    /// Sets the FHT entry count (Figure 9).
+    pub fn with_fht_entries(mut self, entries: usize) -> Self {
+        self.fht_entries = entries;
+        self
+    }
+
+    /// Enables or disables the singleton optimization (Section 6.5).
+    pub fn with_singleton_optimization(mut self, on: bool) -> Self {
+        self.singleton_optimization = on;
+        self
+    }
+
+    /// Sets the prediction key variant (ablation).
+    pub fn with_key_kind(mut self, kind: KeyKind) -> Self {
+        self.key_kind = kind;
+        self
+    }
+
+    /// Number of page frames in the cache.
+    pub fn pages(&self) -> usize {
+        (self.capacity_bytes / self.geom.page_size() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FootprintCacheConfig::new(256 << 20);
+        assert_eq!(c.geom.page_size(), 2048);
+        assert_eq!(c.fht_entries, 16 * 1024);
+        assert_eq!(c.st_entries, 512);
+        assert!(c.singleton_optimization);
+        assert_eq!(c.key_kind, KeyKind::PcOffset);
+        assert_eq!(c.pages(), 131_072);
+    }
+
+    #[test]
+    fn key_kinds_distinguish_inputs() {
+        let k = KeyKind::PcOffset;
+        assert_ne!(k.key(0x400, 1), k.key(0x400, 2));
+        assert_ne!(k.key(0x400, 1), k.key(0x404, 1));
+        assert_eq!(KeyKind::PcOnly.key(0x400, 1), KeyKind::PcOnly.key(0x400, 9));
+        assert_eq!(
+            KeyKind::OffsetOnly.key(0x400, 3),
+            KeyKind::OffsetOnly.key(0x999, 3)
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The Footprint History Table (Section 4.2).
+//!
+//! A set-associative SRAM table mapping PC & offset keys to predicted
+//! footprints. Its size is independent of the dataset: it holds only the
+//! fraction of the application's *instruction* working set that triggers
+//! page misses, measured in kilobytes (16 K entries = 144 KB in the
+//! paper's configuration). It is updated on every page eviction with the
+//! demanded-block vector generated during the page's residency, keeping
+//! the history "in harmony with the workload's execution phase".
+
+use serde::{Deserialize, Serialize};
+
+use fc_cache::SetAssoc;
+use fc_types::Footprint;
+
+use crate::pattern_hash;
+
+/// The Footprint History Table.
+///
+/// # Examples
+///
+/// ```
+/// use footprint_cache::Fht;
+/// use fc_types::Footprint;
+///
+/// let mut fht = Fht::new(1024, 8);
+/// let key = 0xdead_beef;
+/// assert!(fht.predict(key).is_none());
+///
+/// fht.train(key, Footprint::from_offsets([0, 3, 4]));
+/// assert_eq!(fht.predict(key), Some(Footprint::from_offsets([0, 3, 4])));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fht {
+    table: SetAssoc<Footprint>,
+    predicts: u64,
+    hits: u64,
+}
+
+impl Fht {
+    /// Bits per entry: key tag + 32-bit footprint (the paper's 16 K
+    /// entries occupy 144 KB → 72 bits each).
+    const ENTRY_BITS: u64 = 72;
+
+    /// Creates an FHT with `entries` entries of associativity `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(
+            entries > 0 && entries % ways == 0,
+            "entries must be a positive multiple of ways"
+        );
+        Self {
+            table: SetAssoc::new(entries / ways, ways),
+            predicts: 0,
+            hits: 0,
+        }
+    }
+
+    #[inline]
+    fn decompose(&self, key: u64) -> (usize, u64) {
+        // Hash the key so sequential PCs spread across sets.
+        let h = pattern_hash(key);
+        ((h % self.table.sets() as u64) as usize, key)
+    }
+
+    /// Looks up the predicted footprint for `key` (queried only on page
+    /// misses — the FHT is off the critical path of hits).
+    pub fn predict(&mut self, key: u64) -> Option<Footprint> {
+        self.predicts += 1;
+        let (set, tag) = self.decompose(key);
+        let hit = self.table.get(set, tag).copied();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Records the footprint observed at a page eviction, replacing any
+    /// previous prediction for `key` ("updated upon every page eviction
+    /// with the most recent footprint").
+    pub fn train(&mut self, key: u64, demanded: Footprint) {
+        if demanded.is_empty() {
+            return;
+        }
+        let (set, tag) = self.decompose(key);
+        self.table.insert(set, tag, demanded);
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// SRAM size in bytes (16 K entries → 144 KB, Section 5.2).
+    pub fn storage_bytes(&self) -> u64 {
+        self.table.capacity() as u64 * Self::ENTRY_BITS / 8
+    }
+
+    /// Fraction of predictions that found history (coverage of the
+    /// instruction working set).
+    pub fn lookup_hit_ratio(&self) -> f64 {
+        if self.predicts == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.predicts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn train_then_predict() {
+        let mut fht = Fht::new(64, 4);
+        fht.train(1, Footprint::from_offsets([5]));
+        assert_eq!(fht.predict(1), Some(Footprint::from_offsets([5])));
+        assert!(fht.predict(2).is_none());
+        assert!((fht.lookup_hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retrain_replaces_footprint() {
+        let mut fht = Fht::new(64, 4);
+        fht.train(7, Footprint::from_offsets([0, 1]));
+        fht.train(7, Footprint::from_offsets([2]));
+        assert_eq!(fht.predict(7), Some(Footprint::from_offsets([2])));
+    }
+
+    #[test]
+    fn empty_feedback_ignored() {
+        let mut fht = Fht::new(64, 4);
+        fht.train(9, Footprint::empty());
+        assert!(fht.predict(9).is_none());
+    }
+
+    #[test]
+    fn capacity_bounded_by_lru() {
+        let mut fht = Fht::new(8, 8); // one set
+        for key in 0..16u64 {
+            fht.train(key, Footprint::from_offsets([0]));
+        }
+        let live = (0..16u64).filter(|&k| fht.predict(k).is_some()).count();
+        assert_eq!(live, 8);
+    }
+
+    #[test]
+    fn paper_sizing_is_144_kb() {
+        let fht = Fht::new(16 * 1024, 8);
+        assert_eq!(fht.storage_bytes(), 144 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_geometry_rejected() {
+        Fht::new(10, 3);
+    }
+
+    proptest! {
+        /// The most recent training always wins, regardless of interleaved
+        /// other-key traffic (stability property the paper relies on).
+        #[test]
+        fn last_train_wins(keys in proptest::collection::vec(0u64..32, 1..50),
+                           probe in 0u64..32, fp_bits in 1u64..u64::MAX) {
+            let mut fht = Fht::new(256, 8);
+            let fp = Footprint::from_bits(fp_bits);
+            for k in keys {
+                fht.train(k, Footprint::from_offsets([1, 2]));
+            }
+            fht.train(probe, fp);
+            prop_assert_eq!(fht.predict(probe), Some(fp));
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! A single DRAM channel: banks, row buffers, activation windows, and the
+//! shared data bus.
+
+use std::collections::VecDeque;
+
+use fc_types::AccessKind;
+
+use crate::timing::{CoreCycleTimings, RowPolicy};
+
+/// When a DRAM access's data becomes available.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Cycle at which the *first* 64-byte block has fully transferred —
+    /// the critical-path latency for a demand access.
+    pub data_ready: u64,
+    /// Cycle at which *all* requested blocks have transferred.
+    pub done: u64,
+    /// Whether the access hit in the row buffer (no activate needed).
+    pub row_hit: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest cycle the bank can accept the next command sequence.
+    ready_at: u64,
+    /// Time of the last activate on this bank (tRC enforcement), if any.
+    last_act: Option<u64>,
+    /// Earliest cycle a precharge of the open row may begin (tRAS/tRTP/tWR).
+    pre_ready_at: u64,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Self {
+            open_row: None,
+            ready_at: 0,
+            last_act: None,
+            pre_ready_at: 0,
+        }
+    }
+}
+
+/// Counters exported by a channel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Row activations performed.
+    pub activates: u64,
+    /// Accesses that hit an open row buffer.
+    pub row_hits: u64,
+    /// Accesses that required an activation.
+    pub row_misses: u64,
+    /// 64-byte blocks read.
+    pub read_blocks: u64,
+    /// 64-byte blocks written.
+    pub write_blocks: u64,
+}
+
+/// One DRAM channel: a set of banks sharing a command/data bus, with
+/// rank-level tRRD/tFAW activation-rate limits.
+///
+/// The model is a resource reservation: `access` computes the earliest
+/// protocol-legal schedule for the request given current bank/bus state,
+/// commits that schedule, and returns the completion times. Requests must
+/// be presented in non-decreasing arrival order (the simulator's event loop
+/// guarantees this); a request never observes state from the "future".
+#[derive(Clone, Debug)]
+pub struct Channel {
+    t: CoreCycleTimings,
+    policy: RowPolicy,
+    banks: Vec<Bank>,
+    bus_free_at: u64,
+    /// Times of the most recent activates on this rank (tFAW window).
+    act_window: VecDeque<u64>,
+    last_act: Option<u64>,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Creates a channel with `banks` banks.
+    pub fn new(t: CoreCycleTimings, policy: RowPolicy, banks: usize) -> Self {
+        assert!(banks > 0, "channel needs at least one bank");
+        Self {
+            t,
+            policy,
+            banks: vec![Bank::new(); banks],
+            bus_free_at: 0,
+            act_window: VecDeque::with_capacity(4),
+            last_act: None,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Performs an access of `blocks` consecutive 64-byte blocks within one
+    /// row of `bank`, arriving at cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range or `blocks == 0`.
+    pub fn access(
+        &mut self,
+        bank: usize,
+        row: u64,
+        kind: AccessKind,
+        blocks: u32,
+        at: u64,
+    ) -> Completion {
+        self.access_inner(bank, row, kind, blocks, false, at)
+    }
+
+    /// Loh & Hill compound access [24] for tags-in-DRAM block caches
+    /// (Section 5.2): within one row activation, a CAS first reads the
+    /// set's embedded tag block, a one-cycle tag lookup determines the data
+    /// block's location, a second CAS moves the data, and a final CAS
+    /// writes the updated tags back. The tag write-back is off the critical
+    /// path (the paper's assumption) but consumes bus time and burst
+    /// energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range or `blocks == 0`.
+    pub fn access_compound(
+        &mut self,
+        bank: usize,
+        row: u64,
+        kind: AccessKind,
+        blocks: u32,
+        at: u64,
+    ) -> Completion {
+        self.access_inner(bank, row, kind, blocks, true, at)
+    }
+
+    fn access_inner(
+        &mut self,
+        bank: usize,
+        row: u64,
+        kind: AccessKind,
+        blocks: u32,
+        tags_in_dram: bool,
+        at: u64,
+    ) -> Completion {
+        assert!(blocks > 0, "access must transfer at least one block");
+        let nbanks = self.banks.len();
+        let b = &mut self.banks[bank];
+        let t0 = at.max(b.ready_at);
+
+        let row_hit =
+            matches!(self.policy, RowPolicy::Open) && b.open_row == Some(row);
+
+        let cas_at = if row_hit {
+            self.stats.row_hits += 1;
+            t0
+        } else {
+            self.stats.row_misses += 1;
+            // Precharge the old row if one is open (never under the closed
+            // policy, which auto-precharges).
+            let pre_done = if b.open_row.is_some() {
+                t0.max(b.pre_ready_at) + self.t.t_rp
+            } else {
+                t0
+            };
+            // Activation legality: same-bank tRC, rank tRRD, rank tFAW.
+            let mut act_at = pre_done
+                .max(b.last_act.map_or(0, |a| a + self.t.t_rc))
+                .max(self.last_act.map_or(0, |a| a + self.t.t_rrd));
+            if self.act_window.len() == 4 {
+                act_at = act_at.max(self.act_window[0] + self.t.t_faw);
+            }
+            b.last_act = Some(act_at);
+            self.last_act = Some(self.last_act.map_or(act_at, |a| a.max(act_at)));
+            if self.act_window.len() == 4 {
+                self.act_window.pop_front();
+            }
+            self.act_window.push_back(act_at);
+            self.stats.activates += 1;
+            b.open_row = Some(row);
+            act_at + self.t.t_rcd
+        };
+
+        // For tags-in-DRAM designs, a tag-read CAS precedes the data CAS:
+        // the tag block transfers, a one-cycle lookup locates the data.
+        let data_cas_at = if tags_in_dram {
+            let tag_bus = (cas_at + self.t.t_cas).max(self.bus_free_at);
+            self.bus_free_at = tag_bus + self.t.t_burst;
+            self.stats.read_blocks += 1;
+            self.bus_free_at + 1
+        } else {
+            cas_at
+        };
+
+        // Data transfer: first block ready after CAS latency + one burst;
+        // subsequent blocks stream on the bus.
+        let bus_start = (data_cas_at + self.t.t_cas).max(self.bus_free_at);
+        let data_ready = bus_start + self.t.t_burst;
+        let mut done = bus_start + self.t.t_burst * blocks as u64;
+        self.bus_free_at = done;
+
+        // Off-critical-path tag update CAS (write burst: bus + energy).
+        if tags_in_dram {
+            self.bus_free_at += self.t.t_burst;
+            self.stats.write_blocks += 1;
+            done = self.bus_free_at;
+        }
+
+        // Recovery constraints before the row may precharge.
+        let ras_limit = b.last_act.map_or(0, |a| a + self.t.t_ras);
+        let pre_ready = match kind {
+            AccessKind::Read => (data_cas_at + self.t.t_rtp).max(ras_limit),
+            AccessKind::Write => (done + self.t.t_wr).max(ras_limit),
+        };
+        b.pre_ready_at = b.pre_ready_at.max(pre_ready);
+
+        match self.policy {
+            RowPolicy::Open => {
+                b.ready_at = done;
+            }
+            RowPolicy::Closed => {
+                // Auto-precharge: the bank is busy until the row closes.
+                b.open_row = None;
+                b.ready_at = b.pre_ready_at.max(done) + self.t.t_rp;
+            }
+        }
+
+        match kind {
+            AccessKind::Read => self.stats.read_blocks += blocks as u64,
+            AccessKind::Write => self.stats.write_blocks += blocks as u64,
+        }
+
+        debug_assert!(bank < nbanks);
+        Completion {
+            data_ready,
+            done,
+            row_hit,
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// The cycle at which the data bus frees up (for utilization metrics).
+    pub fn bus_free_at(&self) -> u64 {
+        self.bus_free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::DramTimings;
+    use proptest::prelude::*;
+
+    fn stacked() -> Channel {
+        Channel::new(
+            DramTimings::ddr3_3200_stacked().to_core_cycles(),
+            RowPolicy::Open,
+            8,
+        )
+    }
+
+    fn offchip_closed() -> Channel {
+        Channel::new(
+            DramTimings::ddr3_1600().to_core_cycles(),
+            RowPolicy::Closed,
+            8,
+        )
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut ch = stacked();
+        let c = ch.access(0, 7, AccessKind::Read, 1, 0);
+        assert!(!c.row_hit);
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        assert_eq!(c.data_ready, t.t_rcd + t.t_cas + t.t_burst);
+    }
+
+    #[test]
+    fn open_policy_gives_row_hits() {
+        let mut ch = stacked();
+        let c1 = ch.access(0, 7, AccessKind::Read, 1, 0);
+        let c2 = ch.access(0, 7, AccessKind::Read, 1, c1.done);
+        assert!(c2.row_hit);
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        assert_eq!(c2.data_ready - c1.done, t.t_cas + t.t_burst);
+        assert_eq!(ch.stats().row_hits, 1);
+        assert_eq!(ch.stats().activates, 1);
+    }
+
+    #[test]
+    fn closed_policy_never_hits() {
+        let mut ch = offchip_closed();
+        let c1 = ch.access(0, 7, AccessKind::Read, 1, 0);
+        let c2 = ch.access(0, 7, AccessKind::Read, 1, c1.done + 1000);
+        assert!(!c1.row_hit && !c2.row_hit);
+        assert_eq!(ch.stats().activates, 2);
+    }
+
+    #[test]
+    fn conflicting_row_forces_precharge() {
+        let mut ch = stacked();
+        let c1 = ch.access(0, 7, AccessKind::Read, 1, 0);
+        let c2 = ch.access(0, 8, AccessKind::Read, 1, c1.done);
+        assert!(!c2.row_hit);
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        // Must pay at least precharge + activate + CAS beyond arrival.
+        assert!(c2.data_ready >= c1.done + t.t_rp + t.t_rcd + t.t_cas);
+    }
+
+    #[test]
+    fn multi_block_burst_streams_on_bus() {
+        let mut ch = stacked();
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        let c = ch.access(0, 7, AccessKind::Read, 32, 0);
+        assert_eq!(c.done - c.data_ready, t.t_burst * 31);
+        assert_eq!(ch.stats().read_blocks, 32);
+        // One activate for the whole page-sized burst: the fill-locality
+        // property Footprint Cache exploits.
+        assert_eq!(ch.stats().activates, 1);
+    }
+
+    #[test]
+    fn tfaw_limits_activation_rate() {
+        let mut ch = offchip_closed();
+        // Five activates to five different banks, all arriving at 0.
+        let mut acts = Vec::new();
+        for bank in 0..5 {
+            let c = ch.access(bank, 1, AccessKind::Read, 1, 0);
+            acts.push(c.data_ready);
+        }
+        let t = DramTimings::ddr3_1600().to_core_cycles();
+        // The fifth activate can start no earlier than first_act + tFAW.
+        // first act at 0, so fifth data_ready >= tFAW + tRCD + tCAS + burst.
+        assert!(acts[4] >= t.t_faw + t.t_rcd + t.t_cas + t.t_burst);
+    }
+
+    #[test]
+    fn trc_limits_same_bank_reactivation() {
+        let mut ch = offchip_closed();
+        let t = DramTimings::ddr3_1600().to_core_cycles();
+        let c1 = ch.access(0, 1, AccessKind::Read, 1, 0);
+        // Immediately hammer the same bank with a different row.
+        let c2 = ch.access(0, 2, AccessKind::Read, 1, c1.data_ready);
+        // Second activate >= first activate + tRC.
+        assert!(c2.data_ready >= t.t_rc + t.t_rcd + t.t_cas + t.t_burst);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut ch = offchip_closed();
+        let t = DramTimings::ddr3_1600().to_core_cycles();
+        let w = ch.access(0, 1, AccessKind::Write, 1, 0);
+        let r = ch.access(0, 2, AccessKind::Read, 1, w.done);
+        // Read of another row must wait for tWR + tRP + tRCD at least.
+        assert!(r.data_ready >= w.done + t.t_wr + t.t_rp + t.t_rcd);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_block_access_rejected() {
+        stacked().access(0, 0, AccessKind::Read, 0, 0);
+    }
+
+    #[test]
+    fn compound_access_adds_tag_cas_to_critical_path() {
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        let mut plain = stacked();
+        let mut compound = stacked();
+        let p = plain.access(0, 1, AccessKind::Read, 1, 0);
+        let c = compound.access_compound(0, 1, AccessKind::Read, 1, 0);
+        // Extra CAS + tag burst + 1-cycle lookup on the critical path.
+        assert_eq!(c.data_ready, p.data_ready + t.t_cas + t.t_burst + 1);
+        // Tag read + tag write bursts show up as block transfers (energy).
+        let s = compound.stats();
+        assert_eq!(s.read_blocks, 2); // tag read + data
+        assert_eq!(s.write_blocks, 1); // tag update
+        assert_eq!(s.activates, 1); // all within one activation
+    }
+
+    proptest! {
+        /// Data never becomes ready before the arrival time plus the
+        /// minimum CAS + burst pipeline, and `done` is always >= data_ready.
+        #[test]
+        fn completion_ordering(
+            ops in proptest::collection::vec(
+                (0usize..8, 0u64..16, any::<bool>(), 1u32..33, 0u64..200), 1..50)
+        ) {
+            let mut ch = stacked();
+            let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+            let mut now = 0u64;
+            for (bank, row, write, blocks, gap) in ops {
+                now += gap;
+                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                let c = ch.access(bank, row, kind, blocks, now);
+                prop_assert!(c.data_ready >= now + t.t_cas + t.t_burst);
+                prop_assert!(c.done >= c.data_ready);
+                prop_assert_eq!(c.done - c.data_ready,
+                                t.t_burst * (blocks as u64 - 1));
+            }
+            let s = ch.stats();
+            prop_assert_eq!(s.row_hits + s.row_misses, s.activates + s.row_hits);
+        }
+
+        /// The data bus is never double-booked: total bus occupancy equals
+        /// blocks * t_burst and completions are monotone in bus time.
+        #[test]
+        fn bus_serializes(
+            ops in proptest::collection::vec((0usize..8, 0u64..4, 1u32..8), 1..40)
+        ) {
+            let mut ch = stacked();
+            let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+            let mut total_blocks = 0u64;
+            let mut last_done = 0u64;
+            for (bank, row, blocks) in ops {
+                let c = ch.access(bank, row, AccessKind::Read, blocks, 0);
+                total_blocks += blocks as u64;
+                prop_assert!(c.done >= last_done + t.t_burst * blocks as u64
+                             || last_done == 0);
+                last_done = c.done;
+            }
+            // All transfers fit between 0 and the final bus-free time.
+            prop_assert!(ch.bus_free_at() >= total_blocks * t.t_burst);
+        }
+    }
+}

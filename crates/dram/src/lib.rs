@@ -1,0 +1,52 @@
+//! DRAM timing and energy model for the Footprint Cache reproduction.
+//!
+//! This crate plays the role DRAMSim2 plays in the paper (Section 5.4): two
+//! separately configured instances model the **off-chip** DDR3-1600 channel
+//! and the **die-stacked** DDR3-3200 channels of one scale-out pod
+//! (Table 3). It is a *resource-reservation* timing model: each bank tracks
+//! its open row and the time it becomes available; a request arriving at
+//! time `t` receives the earliest protocol-legal issue slot (respecting
+//! tRCD/tCAS/tRP/tRC, the rank-level tRRD/tFAW activation window, and data
+//! bus occupancy), updates the reservation state, and reports when its data
+//! arrives. All times are in **core cycles at 3 GHz**.
+//!
+//! Row-buffer management (open vs closed page policy, Section 5.2) and the
+//! address-interleaving scheme are per-instance parameters, because the
+//! paper chooses them per cache design: block-based caches use closed-page
+//! with 64-byte interleaving, page-based and Footprint Cache use open-page
+//! with 2 KB interleaving.
+//!
+//! Energy is accounted per operation and split the way Figures 10 and 11
+//! split it: activate/precharge energy (row manipulations) vs read/write
+//! burst energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use fc_dram::{DramConfig, DramSystem};
+//! use fc_types::{AccessKind, PhysAddr};
+//!
+//! let mut dram = DramSystem::new(DramConfig::off_chip_ddr3_1600());
+//! let c = dram.access(PhysAddr::new(0x4000), AccessKind::Read, 1, 0);
+//! assert!(c.data_ready > 0); // ACT + CAS + burst
+//! let stats = dram.stats();
+//! assert_eq!(stats.read_blocks, 1);
+//! assert_eq!(stats.activates, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod config;
+mod energy;
+mod mapping;
+mod system;
+mod timing;
+
+pub use channel::{Channel, Completion};
+pub use config::DramConfig;
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use mapping::{AddressMapping, Location};
+pub use system::{DramStats, DramSystem};
+pub use timing::{CoreCycleTimings, DramTimings, RowPolicy, CORE_GHZ};

@@ -1,0 +1,175 @@
+//! Physical-address to (channel, bank, row) mapping schemes.
+//!
+//! Section 5.2: "Address-mapping schemes are chosen for each evaluated
+//! system separately to allow for optimal performance and DRAM-level
+//! parallelism." The block-based design uses 64-byte interleaving between
+//! channels (maximize bank-level parallelism for independent blocks); the
+//! page-based and Footprint designs use 2 KB (page/row) interleaving so a
+//! whole page lives in one DRAM row.
+
+use serde::{Deserialize, Serialize};
+
+use fc_types::{PhysAddr, BLOCK_SHIFT};
+
+/// Where an address lands inside a DRAM system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+/// An address-interleaving scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// Consecutive 64-byte blocks go to consecutive channels, then banks
+    /// (close-page friendly; used by the block-based design).
+    BlockInterleave {
+        /// log2 of the channel count.
+        channel_bits: u32,
+        /// log2 of the bank count.
+        bank_bits: u32,
+    },
+    /// Consecutive rows of `row_shift`-byte granularity go to consecutive
+    /// channels, then banks; all blocks of one row-sized page map to the
+    /// same DRAM row (open-page friendly; used by page-based and Footprint
+    /// Cache with 2 KB rows).
+    RowInterleave {
+        /// log2 of the channel count.
+        channel_bits: u32,
+        /// log2 of the bank count.
+        bank_bits: u32,
+        /// log2 of the interleaving granularity in bytes (11 for 2 KB).
+        row_shift: u32,
+    },
+}
+
+impl AddressMapping {
+    /// Number of channels this mapping spreads addresses over.
+    pub fn channels(&self) -> usize {
+        1 << match self {
+            AddressMapping::BlockInterleave { channel_bits, .. } => *channel_bits,
+            AddressMapping::RowInterleave { channel_bits, .. } => *channel_bits,
+        }
+    }
+
+    /// Number of banks per channel.
+    pub fn banks(&self) -> usize {
+        1 << match self {
+            AddressMapping::BlockInterleave { bank_bits, .. } => *bank_bits,
+            AddressMapping::RowInterleave { bank_bits, .. } => *bank_bits,
+        }
+    }
+
+    /// Maps a physical byte address to its DRAM location.
+    ///
+    /// In both schemes a row holds 2 KB worth of consecutive address space
+    /// at the mapped granularity.
+    pub fn map(&self, addr: PhysAddr) -> Location {
+        match *self {
+            AddressMapping::BlockInterleave {
+                channel_bits,
+                bank_bits,
+            } => {
+                // [ row | bank | channel | block offset(6) ]
+                let block = addr.raw() >> BLOCK_SHIFT;
+                let channel = (block & ((1 << channel_bits) - 1)) as usize;
+                let bank = ((block >> channel_bits) & ((1 << bank_bits) - 1)) as usize;
+                // A 2 KB row holds 32 blocks: the next 5 bits are the column.
+                let row = block >> (channel_bits + bank_bits + 5);
+                Location { channel, bank, row }
+            }
+            AddressMapping::RowInterleave {
+                channel_bits,
+                bank_bits,
+                row_shift,
+            } => {
+                // [ row | bank | channel | row offset(row_shift) ]
+                let unit = addr.raw() >> row_shift;
+                let channel = (unit & ((1 << channel_bits) - 1)) as usize;
+                let bank = ((unit >> channel_bits) & ((1 << bank_bits) - 1)) as usize;
+                let row = unit >> (channel_bits + bank_bits);
+                Location { channel, bank, row }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn row_interleave_keeps_page_in_one_row() {
+        // 4 channels, 8 banks, 2 KB interleave: every block of a 2 KB page
+        // maps to the same (channel, bank, row).
+        let m = AddressMapping::RowInterleave {
+            channel_bits: 2,
+            bank_bits: 3,
+            row_shift: 11,
+        };
+        let base = 0xdead_f800u64 & !0x7ff;
+        let first = m.map(PhysAddr::new(base));
+        for block in 0..32 {
+            let loc = m.map(PhysAddr::new(base + block * 64));
+            assert_eq!(loc, first);
+        }
+        // The next page goes to the next channel.
+        let next = m.map(PhysAddr::new(base + 2048));
+        assert_eq!(next.channel, (first.channel + 1) % 4);
+    }
+
+    #[test]
+    fn block_interleave_spreads_consecutive_blocks() {
+        let m = AddressMapping::BlockInterleave {
+            channel_bits: 2,
+            bank_bits: 3,
+        };
+        let l0 = m.map(PhysAddr::new(0));
+        let l1 = m.map(PhysAddr::new(64));
+        let l4 = m.map(PhysAddr::new(4 * 64));
+        assert_ne!(l0.channel, l1.channel);
+        assert_eq!(l0.channel, l4.channel);
+        assert_ne!(l0.bank, l4.bank);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let m = AddressMapping::RowInterleave {
+            channel_bits: 2,
+            bank_bits: 3,
+            row_shift: 11,
+        };
+        assert_eq!(m.channels(), 4);
+        assert_eq!(m.banks(), 8);
+    }
+
+    proptest! {
+        /// Mapped indices stay within bounds for any address.
+        #[test]
+        fn indices_in_bounds(addr in 0u64..(1 << 40),
+                             cb in 0u32..3, bb in 1u32..4) {
+            for m in [
+                AddressMapping::BlockInterleave { channel_bits: cb, bank_bits: bb },
+                AddressMapping::RowInterleave { channel_bits: cb, bank_bits: bb, row_shift: 11 },
+            ] {
+                let loc = m.map(PhysAddr::new(addr));
+                prop_assert!(loc.channel < m.channels());
+                prop_assert!(loc.bank < m.banks());
+            }
+        }
+
+        /// Two addresses in the same 64-byte block always co-locate.
+        #[test]
+        fn block_cohesion(addr in 0u64..(1 << 40), delta in 0u64..64) {
+            let m = AddressMapping::BlockInterleave { channel_bits: 2, bank_bits: 3 };
+            let base = addr & !63;
+            prop_assert_eq!(m.map(PhysAddr::new(base)),
+                            m.map(PhysAddr::new(base + delta)));
+        }
+    }
+}

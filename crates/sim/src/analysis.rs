@@ -1,0 +1,125 @@
+//! Trace-level analyses that need no timing model.
+//!
+//! * [`coverage_curve`] — Figure 12: the minimum *ideal* cache size (MB)
+//!   needed to capture a given fraction of accesses, assuming a perfect
+//!   predictor and ideal replacement: count accesses per 4 KB page, sort
+//!   descending, accumulate.
+//! * [`page_density`] — a standalone density measurement (Figure 4 uses
+//!   the cache-eviction histograms, but tests use this to validate the
+//!   generators).
+
+use std::collections::HashMap;
+
+use fc_trace::TraceRecord;
+use fc_types::PageGeometry;
+
+/// Points of Figure 12: for each requested coverage fraction, the ideal
+/// cache size in MB needed to capture that fraction of accesses with
+/// `page_size`-byte pages.
+pub fn coverage_curve<I: IntoIterator<Item = TraceRecord>>(
+    records: I,
+    page_size: usize,
+    fractions: &[f64],
+) -> Vec<(f64, f64)> {
+    let geom = PageGeometry::new(page_size);
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut total: u64 = 0;
+    for r in records {
+        *counts.entry(geom.page_of(r.addr).raw()).or_default() += 1;
+        total += 1;
+    }
+    let mut per_page: Vec<u64> = counts.into_values().collect();
+    per_page.sort_unstable_by(|a, b| b.cmp(a));
+
+    let mut out = Vec::with_capacity(fractions.len());
+    for &f in fractions {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0,1]");
+        let want = (f * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        let mut pages = 0u64;
+        for &c in &per_page {
+            if seen >= want {
+                break;
+            }
+            seen += c;
+            pages += 1;
+        }
+        let mb = pages as f64 * page_size as f64 / (1 << 20) as f64;
+        out.push((f, mb));
+    }
+    out
+}
+
+/// Histogram of unique-block counts per touched page over a record
+/// window: a residency-free upper bound on page density used to sanity-
+/// check workload generators.
+pub fn page_density<I: IntoIterator<Item = TraceRecord>>(
+    records: I,
+    page_size: usize,
+) -> fc_cache::DensityHistogram {
+    let geom = PageGeometry::new(page_size);
+    let mut touched: HashMap<u64, u64> = HashMap::new();
+    for r in records {
+        let page = geom.page_of(r.addr).raw();
+        let offset = geom.block_offset(r.addr);
+        *touched.entry(page).or_default() |= 1u64 << offset;
+    }
+    let mut hist = fc_cache::DensityHistogram::default();
+    for bits in touched.values() {
+        hist.record(bits.count_ones() as usize);
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_types::{AccessKind, PhysAddr, Pc};
+
+    fn rec(addr: u64) -> TraceRecord {
+        TraceRecord {
+            pc: Pc::new(0),
+            addr: PhysAddr::new(addr),
+            kind: AccessKind::Read,
+            core: 0,
+            inst_gap: 1,
+        }
+    }
+
+    #[test]
+    fn coverage_counts_hot_pages_first() {
+        // Page 0 gets 8 accesses, pages 1..=8 one each: 50% coverage needs
+        // just page 0 (8 of 16 accesses).
+        let mut records = vec![rec(0); 8];
+        for p in 1..=8u64 {
+            records.push(rec(p * 4096));
+        }
+        let curve = coverage_curve(records, 4096, &[0.5, 1.0]);
+        assert_eq!(curve[0].1, 4096.0 / (1 << 20) as f64);
+        assert_eq!(curve[1].1, 9.0 * 4096.0 / (1 << 20) as f64);
+    }
+
+    #[test]
+    fn coverage_is_monotone() {
+        let records: Vec<_> = (0..1000u64).map(|i| rec((i % 37) * 4096 * (i % 5 + 1))).collect();
+        let curve = coverage_curve(records, 4096, &[0.2, 0.4, 0.6, 0.8]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "coverage curve must be monotone");
+        }
+    }
+
+    #[test]
+    fn density_counts_unique_blocks() {
+        let records = vec![rec(0), rec(64), rec(64), rec(128), rec(2048)];
+        let hist = page_density(records, 2048);
+        // Page 0: blocks {0,1,2} -> 2-3 bin; page 1: one block.
+        assert_eq!(hist.bins()[1], 1);
+        assert_eq!(hist.bins()[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        coverage_curve(vec![rec(0)], 4096, &[1.5]);
+    }
+}

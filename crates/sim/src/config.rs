@@ -1,0 +1,66 @@
+//! Pod-level simulation parameters (Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated pod and core model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cores per pod (Table 3: 16).
+    pub cores: u8,
+    /// Shared L2 capacity in bytes (Table 3: 4 MB).
+    pub l2_bytes: usize,
+    /// L2 associativity (Table 3: 16).
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles (Table 3: 13).
+    pub l2_latency: u32,
+    /// Outstanding DRAM-level misses a core sustains (MSHRs).
+    pub mshrs: usize,
+    /// Instructions a lean OoO core can slide past an outstanding miss
+    /// before stalling (reorder-window lookahead).
+    pub rob_window: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cores: 16,
+            l2_bytes: 4 << 20,
+            l2_ways: 16,
+            l2_latency: 13,
+            mshrs: 8,
+            rob_window: 64,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A smaller configuration for fast tests: 4 cores, 256 KB L2.
+    pub fn small() -> Self {
+        Self {
+            cores: 4,
+            l2_bytes: 256 << 10,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let c = SimConfig::default();
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.l2_bytes, 4 << 20);
+        assert_eq!(c.l2_ways, 16);
+        assert_eq!(c.l2_latency, 13);
+    }
+
+    #[test]
+    fn small_shrinks_pod() {
+        let c = SimConfig::small();
+        assert_eq!(c.cores, 4);
+        assert!(c.l2_bytes < SimConfig::default().l2_bytes);
+    }
+}

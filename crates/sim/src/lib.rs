@@ -1,0 +1,46 @@
+//! Trace-driven simulator of one scale-out pod (Table 3): 16 cores, a
+//! shared 4 MB L2, a die-stacked DRAM cache design, and the off-chip
+//! DDR3-1600 channel.
+//!
+//! The simulation methodology follows the paper's trace-driven analyses
+//! (Section 5.4): memory traces with fixed IPC 1.0 drive the hierarchy;
+//! cores model limited memory-level parallelism with an outstanding-miss
+//! window and a ROB lookahead (lean 3-way OoO cores cannot hide DRAM
+//! misses, but adjacent independent misses overlap). Performance is the
+//! paper's throughput metric — aggregate committed instructions divided
+//! by total cycles.
+//!
+//! The flow per trace record: the record (already L1-filtered by the
+//! trace model) probes the shared L2; an L2 miss becomes a demand access
+//! to the DRAM cache design, which produces an [`AccessPlan`]
+//! (fc-cache); the [`MemorySystem`] executes the plan against the stacked
+//! and off-chip [`DramSystem`]s, yielding the request latency and all
+//! traffic/energy accounting. L2 dirty victims become writebacks, which
+//! dirty DRAM-cache blocks or go straight off-chip.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fc_sim::{DesignKind, SimConfig, Simulation};
+//! use fc_trace::WorkloadKind;
+//!
+//! let report = Simulation::new(SimConfig::default(), DesignKind::Footprint { mb: 256 })
+//!     .run_workload(WorkloadKind::WebSearch, 42, 200_000, 400_000);
+//! println!("miss ratio {:.1}%", report.cache.miss_ratio() * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod config;
+mod engine;
+mod memsys;
+mod report;
+mod runner;
+
+pub use config::SimConfig;
+pub use engine::Simulation;
+pub use memsys::MemorySystem;
+pub use report::{EnergyReport, SimReport};
+pub use runner::DesignKind;

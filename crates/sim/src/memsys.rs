@@ -1,0 +1,207 @@
+//! The memory system: a DRAM cache design plus the stacked and off-chip
+//! DRAM timing models, glued together by the plan executor.
+
+use fc_cache::{AccessPlan, DramCacheModel, MemOp, MemTarget, OpFlavor};
+use fc_dram::{DramConfig, DramStats, DramSystem, EnergyBreakdown};
+use fc_types::{MemAccess, PhysAddr};
+
+/// Blocks per 2 KB DRAM row: transfers larger than this are split into
+/// per-row chunks by the executor.
+const ROW_BLOCKS: u32 = 32;
+
+/// A complete pod memory system below the L2.
+pub struct MemorySystem {
+    cache: Box<dyn DramCacheModel + Send>,
+    stacked: Option<DramSystem>,
+    offchip: DramSystem,
+}
+
+impl MemorySystem {
+    /// Assembles a memory system. `stacked` is `None` for the baseline
+    /// (no die-stacked DRAM).
+    pub fn new(
+        cache: Box<dyn DramCacheModel + Send>,
+        stacked: Option<DramConfig>,
+        offchip: DramConfig,
+    ) -> Self {
+        Self {
+            cache,
+            stacked: stacked.map(DramSystem::new),
+            offchip: DramSystem::new(offchip),
+        }
+    }
+
+    /// The cache design.
+    pub fn cache(&self) -> &(dyn DramCacheModel + Send) {
+        self.cache.as_ref()
+    }
+
+    /// Off-chip DRAM counters.
+    pub fn offchip_stats(&self) -> DramStats {
+        self.offchip.stats()
+    }
+
+    /// Off-chip DRAM dynamic energy.
+    pub fn offchip_energy(&self) -> EnergyBreakdown {
+        self.offchip.energy()
+    }
+
+    /// Stacked DRAM counters (zeros for the baseline).
+    pub fn stacked_stats(&self) -> DramStats {
+        self.stacked
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default()
+    }
+
+    /// Stacked DRAM dynamic energy (zeros for the baseline).
+    pub fn stacked_energy(&self) -> EnergyBreakdown {
+        self.stacked
+            .as_ref()
+            .map(|s| s.energy())
+            .unwrap_or_default()
+    }
+
+    /// A demand access arriving at cycle `at`; returns the cycle the
+    /// requested block is available to the L2.
+    pub fn demand_access(&mut self, req: MemAccess, at: u64) -> u64 {
+        let plan = self.cache.access(req);
+        self.execute(&plan, at)
+    }
+
+    /// An L2 dirty-victim writeback arriving at cycle `at` (never stalls
+    /// the core; charged to banks/energy only).
+    pub fn writeback(&mut self, addr: PhysAddr, at: u64) {
+        let plan = self.cache.writeback(addr);
+        self.execute(&plan, at);
+    }
+
+    /// Executes a plan: critical ops serialize starting after the tag
+    /// lookup and determine the returned completion time; background ops
+    /// start concurrently at the same point.
+    fn execute(&mut self, plan: &AccessPlan, at: u64) -> u64 {
+        let start = at + plan.tag_latency as u64;
+        let mut t = start;
+        for op in &plan.critical {
+            t = self.run_op(op, t);
+        }
+        for op in &plan.background {
+            self.run_op(op, start);
+        }
+        t
+    }
+
+    /// Runs one op, splitting multi-row transfers at row boundaries.
+    /// Returns when the *first* block's data is available (critical-block-
+    /// first for demand fetches).
+    fn run_op(&mut self, op: &MemOp, at: u64) -> u64 {
+        let sys = match op.target {
+            MemTarget::Stacked => self
+                .stacked
+                .as_mut()
+                .expect("design issued a stacked op but no stacked DRAM is configured"),
+            MemTarget::OffChip => &mut self.offchip,
+        };
+        // First chunk: up to the end of the addressed row.
+        let offset_blocks = ((op.addr.raw() % 2048) / 64) as u32;
+        let first_chunk = op.blocks.min(ROW_BLOCKS - offset_blocks.min(ROW_BLOCKS - 1));
+        let completion = match op.flavor {
+            OpFlavor::CompoundTags => sys.access_compound(op.addr, op.kind, first_chunk, at),
+            OpFlavor::Simple => sys.access(op.addr, op.kind, first_chunk, at),
+        };
+        // Remaining rows (4 KB pages span two 2 KB rows): streamed after
+        // the first chunk, off the critical path of the demanded block.
+        let mut done = op.blocks - first_chunk;
+        let mut addr = op.addr.raw() + first_chunk as u64 * 64;
+        while done > 0 {
+            let chunk = done.min(ROW_BLOCKS);
+            sys.access(PhysAddr::new(addr), op.kind, chunk, at);
+            addr += chunk as u64 * 64;
+            done -= chunk;
+        }
+        completion.data_ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_cache::{NoCache, PageBasedCache};
+    use fc_types::{PageGeometry, Pc};
+
+    fn read(addr: u64) -> MemAccess {
+        MemAccess::read(Pc::new(0x400), PhysAddr::new(addr), 0)
+    }
+
+    #[test]
+    fn baseline_access_pays_offchip_latency() {
+        let mut m = MemorySystem::new(
+            Box::new(NoCache::new()),
+            None,
+            DramConfig::off_chip_ddr3_1600(),
+        );
+        let done = m.demand_access(read(0x8000), 1000);
+        // At least ACT + CAS + burst beyond arrival.
+        let t = DramConfig::off_chip_ddr3_1600().timings.to_core_cycles();
+        assert!(done >= 1000 + t.miss_read());
+        assert_eq!(m.offchip_stats().read_blocks, 1);
+        assert_eq!(m.stacked_stats().read_blocks, 0);
+    }
+
+    #[test]
+    fn page_hit_is_faster_than_page_miss() {
+        let mut m = MemorySystem::new(
+            Box::new(PageBasedCache::new(1 << 20, PageGeometry::new(2048))),
+            Some(DramConfig::stacked_ddr3_3200()),
+            DramConfig::off_chip_open_row(),
+        );
+        let miss_done = m.demand_access(read(0x8000), 0);
+        let miss_latency = miss_done;
+        let hit_start = miss_done + 10_000; // let fills drain
+        let hit_done = m.demand_access(read(0x8040), hit_start);
+        let hit_latency = hit_done - hit_start;
+        assert!(
+            hit_latency < miss_latency,
+            "hit {hit_latency} vs miss {miss_latency}"
+        );
+        // The page fill moved 32 blocks off-chip and into the stack.
+        assert_eq!(m.offchip_stats().read_blocks, 32);
+        assert_eq!(m.stacked_stats().write_blocks, 32);
+    }
+
+    #[test]
+    fn writebacks_do_not_return_latency_but_consume_banks() {
+        let mut m = MemorySystem::new(
+            Box::new(NoCache::new()),
+            None,
+            DramConfig::off_chip_ddr3_1600(),
+        );
+        m.writeback(PhysAddr::new(0x9000), 0);
+        assert_eq!(m.offchip_stats().write_blocks, 1);
+    }
+
+    #[test]
+    fn multi_row_transfer_splits() {
+        // A 64-block (4 KB) op must become two row accesses.
+        let mut m = MemorySystem::new(
+            Box::new(PageBasedCache::new(1 << 20, PageGeometry::new(4096))),
+            Some(DramConfig::stacked_ddr3_3200()),
+            DramConfig::off_chip_open_row(),
+        );
+        m.demand_access(read(0x10000), 0);
+        assert_eq!(m.offchip_stats().read_blocks, 64);
+        // Two activations for the two off-chip rows of the 4 KB page.
+        assert_eq!(m.offchip_stats().activates, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stacked DRAM")]
+    fn stacked_op_without_stacked_dram_panics() {
+        let mut m = MemorySystem::new(
+            Box::new(PageBasedCache::new(1 << 20, PageGeometry::new(2048))),
+            None,
+            DramConfig::off_chip_open_row(),
+        );
+        m.demand_access(read(0x8000), 0);
+    }
+}

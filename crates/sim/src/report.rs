@@ -1,0 +1,239 @@
+//! Measurement reports, computed as differences between counter
+//! snapshots so warmup does not pollute results (the paper uses half of
+//! each trace for warm-up, Section 5.4).
+
+use serde::{Deserialize, Serialize};
+
+use fc_cache::{DramCacheStats, PredictionCounters};
+use fc_dram::{DramStats, EnergyBreakdown};
+
+use crate::engine::Simulation;
+
+/// A point-in-time capture of every monotone counter in the simulation.
+#[derive(Clone, Debug)]
+pub struct ReportSnapshot {
+    insts: u64,
+    cycles: u64,
+    cache: DramCacheStats,
+    offchip: DramStats,
+    stacked: DramStats,
+    offchip_energy: EnergyBreakdown,
+    stacked_energy: EnergyBreakdown,
+    prediction: Option<PredictionCounters>,
+}
+
+impl ReportSnapshot {
+    /// Captures the current counters of `sim`.
+    pub fn capture(sim: &Simulation) -> Self {
+        Self {
+            insts: sim.total_insts(),
+            cycles: sim.total_cycles(),
+            cache: sim.memsys().cache().stats().clone(),
+            offchip: sim.memsys().offchip_stats(),
+            stacked: sim.memsys().stacked_stats(),
+            offchip_energy: sim.memsys().offchip_energy(),
+            stacked_energy: sim.memsys().stacked_energy(),
+            prediction: sim.memsys().cache().prediction_counters(),
+        }
+    }
+
+    /// A zero snapshot (measure from the beginning).
+    pub fn zero() -> Self {
+        Self {
+            insts: 0,
+            cycles: 0,
+            cache: DramCacheStats::default(),
+            offchip: DramStats::default(),
+            stacked: DramStats::default(),
+            offchip_energy: EnergyBreakdown::default(),
+            stacked_energy: EnergyBreakdown::default(),
+            prediction: None,
+        }
+    }
+}
+
+/// Energy split of one DRAM over the measurement interval (Figures
+/// 10/11's two stacked components).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Activate/precharge energy in nanojoules.
+    pub act_pre_nj: f64,
+    /// Read/write burst energy in nanojoules.
+    pub burst_nj: f64,
+}
+
+impl EnergyReport {
+    /// Total dynamic energy.
+    pub fn total_nj(&self) -> f64 {
+        self.act_pre_nj + self.burst_nj
+    }
+}
+
+/// Everything one simulation run measures.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Instructions committed in the interval (all cores).
+    pub insts: u64,
+    /// Cycles elapsed in the interval.
+    pub cycles: u64,
+    /// DRAM-cache counters over the interval.
+    pub cache: DramCacheStats,
+    /// Off-chip DRAM counters.
+    pub offchip: DramStats,
+    /// Stacked DRAM counters.
+    pub stacked: DramStats,
+    /// Off-chip dynamic energy.
+    pub offchip_energy: EnergyReport,
+    /// Stacked dynamic energy.
+    pub stacked_energy: EnergyReport,
+    /// Predictor counters (Footprint Cache only).
+    pub prediction: Option<PredictionCounters>,
+}
+
+impl SimReport {
+    /// Builds the report for everything that happened since `since`.
+    pub fn since(sim: &Simulation, since: &ReportSnapshot) -> Self {
+        let now = ReportSnapshot::capture(sim);
+        Self {
+            insts: now.insts - since.insts,
+            cycles: now.cycles - since.cycles,
+            cache: diff_cache(&now.cache, &since.cache),
+            offchip: diff_dram(&now.offchip, &since.offchip),
+            stacked: diff_dram(&now.stacked, &since.stacked),
+            offchip_energy: EnergyReport {
+                act_pre_nj: now.offchip_energy.act_pre_nj - since.offchip_energy.act_pre_nj,
+                burst_nj: now.offchip_energy.burst_nj - since.offchip_energy.burst_nj,
+            },
+            stacked_energy: EnergyReport {
+                act_pre_nj: now.stacked_energy.act_pre_nj - since.stacked_energy.act_pre_nj,
+                burst_nj: now.stacked_energy.burst_nj - since.stacked_energy.burst_nj,
+            },
+            prediction: match (now.prediction, since.prediction) {
+                (Some(n), Some(s)) => Some(PredictionCounters {
+                    covered: n.covered - s.covered,
+                    overpredicted: n.overpredicted - s.overpredicted,
+                    underpredicted: n.underpredicted - s.underpredicted,
+                    singleton_bypasses: n.singleton_bypasses - s.singleton_bypasses,
+                    singleton_promotions: n.singleton_promotions - s.singleton_promotions,
+                }),
+                (p, _) => p,
+            },
+        }
+    }
+
+    /// The paper's throughput metric: aggregate committed instructions
+    /// over total cycles (Section 5.4).
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Off-chip traffic in bytes over the interval (Figure 5b's
+    /// numerator).
+    pub fn offchip_bytes(&self) -> u64 {
+        self.offchip.bytes()
+    }
+
+    /// Off-chip bytes per instruction — the bandwidth-demand measure that
+    /// normalizes away timing differences between designs.
+    pub fn offchip_bytes_per_inst(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.offchip.bytes() as f64 / self.insts as f64
+        }
+    }
+
+    /// Off-chip DRAM dynamic energy per instruction in nanojoules
+    /// (Figure 10's y-axis before normalization).
+    pub fn offchip_energy_per_inst_nj(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.offchip_energy.total_nj() / self.insts as f64
+        }
+    }
+
+    /// Stacked DRAM dynamic energy per instruction in nanojoules
+    /// (Figure 11).
+    pub fn stacked_energy_per_inst_nj(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.stacked_energy.total_nj() / self.insts as f64
+        }
+    }
+}
+
+fn diff_cache(now: &DramCacheStats, since: &DramCacheStats) -> DramCacheStats {
+    DramCacheStats {
+        accesses: now.accesses - since.accesses,
+        hits: now.hits - since.hits,
+        misses: now.misses - since.misses,
+        bypasses: now.bypasses - since.bypasses,
+        evictions: now.evictions - since.evictions,
+        dirty_evictions: now.dirty_evictions - since.dirty_evictions,
+        fill_blocks: now.fill_blocks - since.fill_blocks,
+        offchip_read_blocks: now.offchip_read_blocks - since.offchip_read_blocks,
+        offchip_write_blocks: now.offchip_write_blocks - since.offchip_write_blocks,
+        stacked_read_blocks: now.stacked_read_blocks - since.stacked_read_blocks,
+        stacked_write_blocks: now.stacked_write_blocks - since.stacked_write_blocks,
+        density: diff_density(now, since),
+    }
+}
+
+fn diff_density(now: &DramCacheStats, since: &DramCacheStats) -> fc_cache::DensityHistogram {
+    let mut h = fc_cache::DensityHistogram::default();
+    let (n, s) = (now.density.bins(), since.density.bins());
+    // Record representative densities per bin delta.
+    let representative = [1usize, 2, 4, 8, 16, 32];
+    for i in 0..6 {
+        for _ in 0..(n[i] - s[i]) {
+            h.record(representative[i]);
+        }
+    }
+    h
+}
+
+fn diff_dram(now: &DramStats, since: &DramStats) -> DramStats {
+    DramStats {
+        activates: now.activates - since.activates,
+        row_hits: now.row_hits - since.row_hits,
+        row_misses: now.row_misses - since.row_misses,
+        read_blocks: now.read_blocks - since.read_blocks,
+        write_blocks: now.write_blocks - since.write_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_report_totals() {
+        let e = EnergyReport {
+            act_pre_nj: 3.0,
+            burst_nj: 4.0,
+        };
+        assert_eq!(e.total_nj(), 7.0);
+    }
+
+    #[test]
+    fn throughput_guards_zero_cycles() {
+        let r = SimReport {
+            insts: 0,
+            cycles: 0,
+            cache: Default::default(),
+            offchip: Default::default(),
+            stacked: Default::default(),
+            offchip_energy: Default::default(),
+            stacked_energy: Default::default(),
+            prediction: None,
+        };
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.offchip_bytes_per_inst(), 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Design catalogue: every system configuration the paper evaluates,
+//! buildable by name.
+
+use fc_cache::{
+    BlockBasedCache, HotPageCache, IdealCache, NoCache, PageBasedCache, SubBlockCache,
+    WritebackGranularity,
+};
+use fc_dram::{DramConfig, DramTimings};
+use fc_types::PageGeometry;
+use footprint_cache::{FootprintCache, FootprintCacheConfig, KeyKind};
+
+use crate::memsys::MemorySystem;
+
+/// Which memory-system design a simulation runs (Sections 5.1–5.2).
+///
+/// Capacities are in megabytes of stacked DRAM. Each design also selects
+/// its row-buffer policy and interleaving, per Section 5.2: closed-page +
+/// block interleave for the block-based design, open-page + 2 KB
+/// interleave for the page-organized ones.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DesignKind {
+    /// No die-stacked DRAM: every L2 miss goes off-chip.
+    Baseline,
+    /// Loh & Hill block-based cache with MissMap.
+    Block {
+        /// Stacked capacity in MB.
+        mb: u64,
+    },
+    /// Page-based cache (whole-page fetch).
+    Page {
+        /// Stacked capacity in MB.
+        mb: u64,
+    },
+    /// Footprint Cache (the paper's design).
+    Footprint {
+        /// Stacked capacity in MB.
+        mb: u64,
+    },
+    /// Footprint Cache with a custom configuration (page size, FHT size,
+    /// singleton switch, key kind — the sensitivity studies).
+    FootprintCustom {
+        /// Full configuration.
+        config: FootprintCacheConfig,
+    },
+    /// Sub-blocked (sectored) cache: page tags, demand-block fetch.
+    SubBlock {
+        /// Stacked capacity in MB.
+        mb: u64,
+    },
+    /// CHOP-style hot-page filter cache (4 KB pages, Section 6.7).
+    HotPage {
+        /// Stacked capacity in MB.
+        mb: u64,
+    },
+    /// Page-based cache that writes back only dirty blocks (ablation).
+    PageDirtyBlockWb {
+        /// Stacked capacity in MB.
+        mb: u64,
+    },
+    /// Die-stacked main memory: never misses (Figures 1, 6, 7 "Ideal").
+    Ideal,
+    /// Die-stacked main memory with halved DRAM latency (Figure 1's
+    /// "High-BW & Low-Latency").
+    IdealLowLatency,
+}
+
+impl DesignKind {
+    /// Short label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            DesignKind::Baseline => "Baseline".into(),
+            DesignKind::Block { mb } => format!("Block-based {mb}MB"),
+            DesignKind::Page { mb } => format!("Page-based {mb}MB"),
+            DesignKind::Footprint { mb } => format!("Footprint {mb}MB"),
+            DesignKind::FootprintCustom { config } => format!(
+                "Footprint {}MB ({}B pages, {} FHT, {:?}{})",
+                config.capacity_bytes >> 20,
+                config.geom.page_size(),
+                config.fht_entries,
+                config.key_kind,
+                if config.singleton_optimization {
+                    ""
+                } else {
+                    ", no-ST"
+                }
+            ),
+            DesignKind::SubBlock { mb } => format!("Sub-blocked {mb}MB"),
+            DesignKind::HotPage { mb } => format!("Hot-page {mb}MB"),
+            DesignKind::PageDirtyBlockWb { mb } => format!("Page (dirty-block WB) {mb}MB"),
+            DesignKind::Ideal => "Ideal".into(),
+            DesignKind::IdealLowLatency => "Ideal low-latency".into(),
+        }
+    }
+
+    /// Instantiates the design's cache model and DRAM configurations.
+    pub fn build(&self) -> MemorySystem {
+        let geom = PageGeometry::default();
+        match *self {
+            DesignKind::Baseline => MemorySystem::new(
+                Box::new(NoCache::new()),
+                None,
+                DramConfig::off_chip_ddr3_1600(),
+            ),
+            DesignKind::Block { mb } => MemorySystem::new(
+                Box::new(BlockBasedCache::new(mb << 20)),
+                Some(DramConfig::stacked_for_block_design()),
+                DramConfig::off_chip_ddr3_1600(),
+            ),
+            DesignKind::Page { mb } => MemorySystem::new(
+                Box::new(PageBasedCache::new(mb << 20, geom)),
+                Some(DramConfig::stacked_ddr3_3200()),
+                DramConfig::off_chip_open_row(),
+            ),
+            DesignKind::Footprint { mb } => MemorySystem::new(
+                Box::new(FootprintCache::new(FootprintCacheConfig::new(mb << 20))),
+                Some(DramConfig::stacked_ddr3_3200()),
+                DramConfig::off_chip_open_row(),
+            ),
+            DesignKind::FootprintCustom { config } => MemorySystem::new(
+                Box::new(FootprintCache::new(config)),
+                Some(DramConfig::stacked_ddr3_3200()),
+                DramConfig::off_chip_open_row(),
+            ),
+            DesignKind::SubBlock { mb } => MemorySystem::new(
+                Box::new(SubBlockCache::new(mb << 20, geom)),
+                Some(DramConfig::stacked_ddr3_3200()),
+                DramConfig::off_chip_open_row(),
+            ),
+            DesignKind::HotPage { mb } => MemorySystem::new(
+                // 4 KB pages, hot after 2 accesses ([13] finds 4 KB
+                // optimal).
+                Box::new(HotPageCache::new(mb << 20, PageGeometry::new(4096), 2)),
+                Some(DramConfig::stacked_ddr3_3200()),
+                DramConfig::off_chip_open_row(),
+            ),
+            DesignKind::PageDirtyBlockWb { mb } => MemorySystem::new(
+                Box::new(PageBasedCache::with_granularity(
+                    mb << 20,
+                    geom,
+                    WritebackGranularity::DirtyBlocks,
+                )),
+                Some(DramConfig::stacked_ddr3_3200()),
+                DramConfig::off_chip_open_row(),
+            ),
+            DesignKind::Ideal => MemorySystem::new(
+                Box::new(IdealCache::new()),
+                Some(DramConfig::stacked_ddr3_3200()),
+                DramConfig::off_chip_open_row(),
+            ),
+            DesignKind::IdealLowLatency => MemorySystem::new(
+                Box::new(IdealCache::new()),
+                Some(DramConfig::stacked_ddr3_3200().with_timings(
+                    DramTimings::ddr3_3200_stacked().halved_latency(),
+                )),
+                DramConfig::off_chip_open_row(),
+            ),
+        }
+    }
+
+    /// The footprint key-kind ablation variant.
+    pub fn footprint_with_key(mb: u64, key: KeyKind) -> Self {
+        DesignKind::FootprintCustom {
+            config: FootprintCacheConfig::new(mb << 20).with_key_kind(key),
+        }
+    }
+
+    /// Footprint Cache without the singleton optimization (Section 6.5).
+    pub fn footprint_no_singleton(mb: u64) -> Self {
+        DesignKind::FootprintCustom {
+            config: FootprintCacheConfig::new(mb << 20).with_singleton_optimization(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_design_builds() {
+        for design in [
+            DesignKind::Baseline,
+            DesignKind::Block { mb: 64 },
+            DesignKind::Page { mb: 64 },
+            DesignKind::Footprint { mb: 64 },
+            DesignKind::SubBlock { mb: 64 },
+            DesignKind::HotPage { mb: 64 },
+            DesignKind::PageDirtyBlockWb { mb: 64 },
+            DesignKind::Ideal,
+            DesignKind::IdealLowLatency,
+            DesignKind::footprint_no_singleton(64),
+            DesignKind::footprint_with_key(64, KeyKind::PcOnly),
+        ] {
+            let m = design.build();
+            assert!(!design.label().is_empty());
+            drop(m);
+        }
+    }
+
+    #[test]
+    fn labels_carry_capacity() {
+        assert_eq!(DesignKind::Footprint { mb: 256 }.label(), "Footprint 256MB");
+        assert!(DesignKind::footprint_no_singleton(128)
+            .label()
+            .contains("128MB"));
+    }
+}

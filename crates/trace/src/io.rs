@@ -1,0 +1,321 @@
+//! Binary trace serialization.
+//!
+//! Format: an 8-byte header (`b"FCTRACE1"`), then fixed-width 22-byte
+//! records (little-endian): `pc: u64`, `addr: u64`, `inst_gap: u32`,
+//! `kind: u8` (0 = read, 1 = write), `core: u8`. The stream ends at EOF.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use fc_types::{AccessKind, PhysAddr, Pc};
+
+use crate::record::TraceRecord;
+
+const MAGIC: &[u8; 8] = b"FCTRACE1";
+const RECORD_BYTES: usize = 22;
+
+/// Errors produced while reading or writing traces.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// The stream ended in the middle of a record.
+    TruncatedRecord,
+    /// A record's `kind` byte was neither 0 nor 1.
+    InvalidKind(u8),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io failure: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a trace stream (bad magic)"),
+            TraceIoError::TruncatedRecord => write!(f, "truncated trace record"),
+            TraceIoError::InvalidKind(k) => write!(f, "invalid access kind byte {k}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes trace records to any [`Write`] sink.
+///
+/// A `&mut W` can be passed wherever a `W: Write` is expected.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), fc_trace::TraceIoError> {
+/// use fc_trace::{TraceReader, TraceRecord, TraceWriter};
+/// use fc_types::{AccessKind, PhysAddr, Pc};
+///
+/// let record = TraceRecord {
+///     pc: Pc::new(0x400),
+///     addr: PhysAddr::new(0x8000),
+///     kind: AccessKind::Read,
+///     core: 3,
+///     inst_gap: 12,
+/// };
+///
+/// let mut buf = Vec::new();
+/// let mut writer = TraceWriter::new(&mut buf)?;
+/// writer.write(&record)?;
+/// writer.finish()?;
+///
+/// let mut reader = TraceReader::new(buf.as_slice())?;
+/// assert_eq!(reader.next().unwrap()?, record);
+/// assert!(reader.next().is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: BufWriter<W>,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if writing the header fails.
+    pub fn new(sink: W) -> Result<Self, TraceIoError> {
+        let mut sink = BufWriter::new(sink);
+        sink.write_all(MAGIC)?;
+        Ok(Self { sink, written: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying write fails.
+    pub fn write(&mut self, record: &TraceRecord) -> Result<(), TraceIoError> {
+        let mut buf = [0u8; RECORD_BYTES];
+        {
+            let mut cursor = &mut buf[..];
+            cursor.put_u64_le(record.pc.raw());
+            cursor.put_u64_le(record.addr.raw());
+            cursor.put_u32_le(record.inst_gap);
+            cursor.put_u8(record.kind.is_write() as u8);
+            cursor.put_u8(record.core);
+        }
+        self.sink.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if flushing fails.
+    pub fn finish(mut self) -> Result<(), TraceIoError> {
+        self.sink.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads trace records from any [`Read`] source; iterates
+/// `Result<TraceRecord, TraceIoError>`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: BufReader<R>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Creates a reader, validating the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::BadMagic`] if the header is missing or
+    /// wrong, or an I/O error.
+    pub fn new(source: R) -> Result<Self, TraceIoError> {
+        let mut source = BufReader::new(source);
+        let mut magic = [0u8; 8];
+        source
+            .read_exact(&mut magic)
+            .map_err(|_| TraceIoError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(TraceIoError::BadMagic);
+        }
+        Ok(Self { source })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut buf = [0u8; RECORD_BYTES];
+        let mut filled = 0;
+        while filled < RECORD_BYTES {
+            match self.source.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return if filled == 0 {
+                        None
+                    } else {
+                        Some(Err(TraceIoError::TruncatedRecord))
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+        let mut cursor = &buf[..];
+        let pc = Pc::new(cursor.get_u64_le());
+        let addr = PhysAddr::new(cursor.get_u64_le());
+        let inst_gap = cursor.get_u32_le();
+        let kind = match cursor.get_u8() {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            k => return Some(Err(TraceIoError::InvalidKind(k))),
+        };
+        let core = cursor.get_u8();
+        Some(Ok(TraceRecord {
+            pc,
+            addr,
+            kind,
+            core,
+            inst_gap,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                pc: Pc::new(0x1000 + i * 4),
+                addr: PhysAddr::new(i * 64),
+                kind: if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                core: (i % 16) as u8,
+                inst_gap: (i % 100) as u32 + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_many_records() {
+        let records = sample(1000);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.records_written(), 1000);
+        w.finish().unwrap();
+
+        let r = TraceReader::new(buf.as_slice()).unwrap();
+        let read: Vec<_> = r.map(Result::unwrap).collect();
+        assert_eq!(read, records);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceReader::new(&b"NOTATRACE"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+        assert_eq!(format!("{err}"), "not a trace stream (bad magic)");
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.write(&sample(1)[0]).unwrap();
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(matches!(
+            r.next().unwrap().unwrap_err(),
+            TraceIoError::TruncatedRecord
+        ));
+    }
+
+    #[test]
+    fn invalid_kind_byte_detected() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.write(&sample(1)[0]).unwrap();
+        w.finish().unwrap();
+        // kind byte is at offset 8 (magic) + 20.
+        buf[8 + 20] = 9;
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(matches!(
+            r.next().unwrap().unwrap_err(),
+            TraceIoError::InvalidKind(9)
+        ));
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf).unwrap().finish().unwrap();
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(r.next().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_records_round_trip(
+            recs in proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), any::<bool>(), any::<u8>(), 1u32..u32::MAX),
+                0..50)
+        ) {
+            let records: Vec<TraceRecord> = recs
+                .into_iter()
+                .map(|(pc, addr, w, core, gap)| TraceRecord {
+                    pc: Pc::new(pc),
+                    addr: PhysAddr::new(addr),
+                    kind: if w { AccessKind::Write } else { AccessKind::Read },
+                    core,
+                    inst_gap: gap,
+                })
+                .collect();
+            let mut buf = Vec::new();
+            let mut w = TraceWriter::new(&mut buf).unwrap();
+            for r in &records {
+                w.write(r).unwrap();
+            }
+            w.finish().unwrap();
+            let read: Vec<_> = TraceReader::new(buf.as_slice())
+                .unwrap()
+                .map(Result::unwrap)
+                .collect();
+            prop_assert_eq!(read, records);
+        }
+    }
+}

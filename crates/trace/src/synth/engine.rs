@@ -1,0 +1,500 @@
+//! The generative engine behind [`TraceGenerator`].
+//!
+//! Each core runs an event-driven schedule of page *visits*. A visit is
+//! one traversal of one 2 KB structure chunk by one access function: its
+//! touches are spread over the class's `visit_duration` instructions, so
+//! whether all of a page's blocks are touched before eviction depends on
+//! how long the page stays cached — which is how the Figure 4
+//! density-vs-capacity growth *emerges* from the model instead of being
+//! baked in.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fc_types::{AccessKind, PhysAddr, Pc};
+
+use crate::record::TraceRecord;
+use crate::synth::pattern::{splitmix, CHUNK_BLOCKS};
+use crate::synth::{ClassSpec, PageSelect, WorkloadKind, WorkloadSpec, Zipf};
+
+/// Bytes per structure chunk (the pattern granularity).
+const CHUNK_BYTES: u64 = 2048;
+
+#[derive(Clone, Debug)]
+struct Visit {
+    class: u16,
+    func: u16,
+    page: u64,
+    start: u8,
+    /// Delta mask of blocks still to touch.
+    remaining: u32,
+}
+
+#[derive(Clone, Debug)]
+struct RuntimeClass {
+    spec: ClassSpec,
+    /// Mean instructions between touches of one visit.
+    interval: u64,
+    /// Concurrent visits this core keeps alive for the class.
+    concurrency: u32,
+    region_base: u64,
+    zipf: Option<Zipf>,
+    seq_cursor: u64,
+}
+
+impl RuntimeClass {
+    fn draw_interval(&self, rng: &mut SmallRng) -> u64 {
+        let i = self.interval.max(2);
+        rng.random_range(i / 2..=i + i / 2).max(1)
+    }
+
+    fn pick_page(&mut self, rng: &mut SmallRng) -> u64 {
+        match self.spec.select {
+            PageSelect::Zipf(_) => self
+                .zipf
+                .as_ref()
+                .expect("zipf sampler present for Zipf select")
+                .sample(rng),
+            PageSelect::Uniform => rng.random_range(0..self.spec.pages),
+            PageSelect::Sequential => {
+                let p = self.seq_cursor;
+                self.seq_cursor = (self.seq_cursor + 1) % self.spec.pages;
+                p
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CoreEngine {
+    core: u8,
+    seed: u64,
+    rng: SmallRng,
+    classes: Vec<RuntimeClass>,
+    slots: Vec<Visit>,
+    free: Vec<u32>,
+    /// Min-heap of (next touch time, slot).
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    last_inst: u64,
+    phase_len: Option<u64>,
+}
+
+impl CoreEngine {
+    fn new(spec: &WorkloadSpec, core: u8, seed: u64) -> Self {
+        let rng = SmallRng::seed_from_u64(splitmix(seed ^ (core as u64) << 8));
+        let mut engine = Self {
+            core,
+            seed,
+            rng,
+            classes: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: BinaryHeap::new(),
+            last_inst: 0,
+            phase_len: spec.phase_len,
+        };
+        for (idx, class) in spec.classes.iter().enumerate() {
+            if !class.cores.contains(core) {
+                continue;
+            }
+            let interval =
+                ((class.visit_duration as f64 / class.pattern.mean_len()).round() as u64).max(1);
+            let concurrency =
+                ((class.access_rate * interval as f64).round() as u32).max(1);
+            let private = if class.private_region {
+                (core as u64) << 36
+            } else {
+                0
+            };
+            let region_base = ((idx as u64 + 1) << 40) | private;
+            let zipf = match class.select {
+                PageSelect::Zipf(theta) => Some(Zipf::new(class.pages, theta)),
+                _ => None,
+            };
+            let seq_cursor = if matches!(class.select, PageSelect::Sequential) {
+                // Spread scan cursors across cores.
+                (class.pages / 16).saturating_mul(core as u64) % class.pages
+            } else {
+                0
+            };
+            engine.classes.push(RuntimeClass {
+                spec: class.clone(),
+                interval,
+                concurrency,
+                region_base,
+                zipf,
+                seq_cursor,
+            });
+        }
+        // Populate the initial visit mix, first touches spread over one
+        // interval so the schedule starts smooth.
+        for c in 0..engine.classes.len() {
+            for _ in 0..engine.classes[c].concurrency {
+                let when = engine.rng.random_range(0..engine.classes[c].interval.max(2));
+                engine.spawn_fresh(c as u16, when);
+            }
+        }
+        engine
+    }
+
+    fn salt_at(&self, when: u64) -> u64 {
+        self.phase_len.map_or(0, |p| when / p)
+    }
+
+    fn alloc_slot(&mut self, visit: Visit) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = visit;
+            slot
+        } else {
+            self.slots.push(visit);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn spawn_fresh(&mut self, class: u16, when: u64) {
+        let salt = self.salt_at(when);
+        let rc = &mut self.classes[class as usize];
+        let func = self.rng.random_range(0..rc.spec.functions);
+        let page = rc.pick_page(&mut self.rng);
+        let start = if rc.spec.aligned {
+            (splitmix(self.seed ^ (class as u64) << 16 ^ func as u64) % CHUNK_BLOCKS as u64) as u8
+        } else {
+            self.rng.random_range(0..CHUNK_BLOCKS as u8)
+        };
+        let remaining = rc.spec.pattern.derive(self.seed, class, func, salt);
+        let slot = self.alloc_slot(Visit {
+            class,
+            func,
+            page,
+            start,
+            remaining,
+        });
+        self.heap.push(Reverse((when, slot)));
+    }
+
+    fn respawn_same(&mut self, visit: &Visit, when: u64) {
+        let salt = self.salt_at(when);
+        let remaining =
+            self.classes[visit.class as usize]
+                .spec
+                .pattern
+                .derive(self.seed, visit.class, visit.func, salt);
+        let slot = self.alloc_slot(Visit {
+            remaining,
+            ..*visit
+        });
+        self.heap.push(Reverse((when, slot)));
+    }
+
+    /// Scheduled time of this core's next record.
+    fn peek_time(&self) -> u64 {
+        let Reverse((t, _)) = self.heap.peek().expect("core heap never empties");
+        (*t).max(self.last_inst + 1)
+    }
+
+    /// Emits this core's next record.
+    fn emit(&mut self) -> TraceRecord {
+        let Reverse((t, slot)) = self.heap.pop().expect("core heap never empties");
+        let now = t.max(self.last_inst + 1);
+        let gap = (now - self.last_inst).min(u32::MAX as u64) as u32;
+        self.last_inst = now;
+
+        let visit = &mut self.slots[slot as usize];
+        let delta = visit.remaining.trailing_zeros();
+        visit.remaining &= visit.remaining - 1;
+        let offset = (visit.start as u32 + delta) % CHUNK_BLOCKS as u32;
+        let class = visit.class;
+        let func = visit.func;
+        let page = visit.page;
+        let done = visit.remaining == 0;
+        let finished = visit.clone();
+
+        let rc = &self.classes[class as usize];
+        let addr = rc.region_base + page * CHUNK_BYTES + offset as u64 * 64;
+        let pc_core = if rc.spec.private_region {
+            (self.core as u64) << 24
+        } else {
+            0
+        };
+        let pc = 0x40_0000 | pc_core | (class as u64) << 16 | (func as u64) << 2;
+        let write_frac = rc.spec.write_frac;
+        let reuse = rc.spec.reuse;
+        let kind = if self.rng.random::<f64>() < write_frac {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+
+        if done {
+            self.free.push(slot);
+            let next = now + self.classes[class as usize].draw_interval(&mut self.rng);
+            if self.rng.random::<f64>() < reuse {
+                // Temporal reuse: revisit the same page with the same
+                // function after roughly one inter-touch interval.
+                self.respawn_same(&finished, next);
+            } else {
+                self.spawn_fresh(class, next);
+            }
+        } else {
+            let next = now + self.classes[class as usize].draw_interval(&mut self.rng);
+            self.heap.push(Reverse((next, slot)));
+        }
+
+        TraceRecord {
+            pc: Pc::new(pc),
+            addr: PhysAddr::new(addr),
+            kind,
+            core: self.core,
+            inst_gap: gap.max(1),
+        }
+    }
+}
+
+/// An infinite, deterministic stream of [`TraceRecord`]s for one workload
+/// on an `n`-core pod.
+///
+/// Records are merged across cores in per-core instruction order, which at
+/// the paper's fixed trace IPC of 1.0 approximates global chronological
+/// order. The stream is infinite — take as many records as the experiment
+/// needs.
+///
+/// # Examples
+///
+/// ```
+/// use fc_trace::{TraceGenerator, WorkloadKind};
+///
+/// let records: Vec<_> = TraceGenerator::new(WorkloadKind::WebSearch, 16, 7)
+///     .take(1000)
+///     .collect();
+/// assert_eq!(records.len(), 1000);
+/// // Deterministic: the same seed replays the same trace.
+/// let again: Vec<_> = TraceGenerator::new(WorkloadKind::WebSearch, 16, 7)
+///     .take(1000)
+///     .collect();
+/// assert_eq!(records, again);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cores: Vec<CoreEngine>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `kind` with `cores` cores and a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(kind: WorkloadKind, cores: u8, seed: u64) -> Self {
+        Self::from_spec(&kind.spec(), cores, seed)
+    }
+
+    /// Creates a generator from a custom [`WorkloadSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or if some core ends up with no classes.
+    pub fn from_spec(spec: &WorkloadSpec, cores: u8, seed: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let engines: Vec<CoreEngine> = (0..cores)
+            .map(|c| CoreEngine::new(spec, c, seed))
+            .collect();
+        for e in &engines {
+            assert!(
+                !e.classes.is_empty(),
+                "core {} has no classes; check CoreSet coverage",
+                e.core
+            );
+        }
+        Self { cores: engines }
+    }
+
+    /// Number of cores in the stream.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        // Emit from the core whose next touch is earliest.
+        let idx = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.peek_time())
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        Some(self.cores[idx].emit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CoreSet, PatternFamily};
+    use std::collections::{HashMap, HashSet};
+
+    fn single_class_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            phase_len: None,
+            classes: vec![ClassSpec {
+                name: "only",
+                access_rate: 0.01,
+                visit_duration: 10_000,
+                pattern: PatternFamily::Dense { min: 4, max: 8 },
+                select: PageSelect::Uniform,
+                pages: 128,
+                write_frac: 0.3,
+                reuse: 0.5,
+                functions: 1,
+                aligned: true,
+                cores: CoreSet::All,
+                private_region: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a: Vec<_> = TraceGenerator::new(WorkloadKind::DataServing, 16, 99)
+            .take(5000)
+            .collect();
+        let b: Vec<_> = TraceGenerator::new(WorkloadKind::DataServing, 16, 99)
+            .take(5000)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        let a: Vec<_> = TraceGenerator::new(WorkloadKind::WebSearch, 4, 1)
+            .take(500)
+            .collect();
+        let b: Vec<_> = TraceGenerator::new(WorkloadKind::WebSearch, 4, 2)
+            .take(500)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaps_are_positive_and_mean_matches_rate() {
+        let spec = WorkloadKind::WebSearch.spec();
+        let expect_gap = 1.0 / spec.total_access_rate();
+        let records: Vec<_> = TraceGenerator::from_spec(&spec, 16, 3)
+            .take(100_000)
+            .collect();
+        let mut per_core_insts: HashMap<u8, u64> = HashMap::new();
+        for r in &records {
+            assert!(r.inst_gap >= 1);
+            *per_core_insts.entry(r.core).or_default() += r.inst_gap as u64;
+        }
+        let total_insts: u64 = per_core_insts.values().sum();
+        let mean_gap = total_insts as f64 / records.len() as f64;
+        assert!(
+            mean_gap > expect_gap * 0.5 && mean_gap < expect_gap * 2.0,
+            "mean gap {mean_gap:.0} vs expected {expect_gap:.0}"
+        );
+    }
+
+    #[test]
+    fn all_cores_emit() {
+        let records: Vec<_> = TraceGenerator::new(WorkloadKind::SatSolver, 16, 5)
+            .take(50_000)
+            .collect();
+        let cores: HashSet<u8> = records.iter().map(|r| r.core).collect();
+        assert_eq!(cores.len(), 16);
+    }
+
+    #[test]
+    fn single_function_visits_repeat_footprints() {
+        // One aligned function, stable phase: every visit of a page must
+        // touch the same offsets — the predictability the FHT relies on.
+        let records: Vec<_> = TraceGenerator::from_spec(&single_class_spec(), 1, 11)
+            .take(20_000)
+            .collect();
+        let mut per_page: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for r in &records {
+            let page = r.addr.raw() / 2048;
+            let offset = (r.addr.raw() % 2048) / 64;
+            per_page.entry(page).or_default().insert(offset);
+        }
+        // All pages visited by the single function must share one
+        // footprint size (<= max pattern length 8).
+        let sizes: HashSet<usize> = per_page.values().map(|s| s.len()).collect();
+        assert!(sizes.len() <= 2, "footprints vary: {sizes:?}");
+        assert!(sizes.iter().all(|&s| s <= 8));
+    }
+
+    #[test]
+    fn singleton_class_touches_one_block_per_page() {
+        let mut spec = single_class_spec();
+        spec.classes[0].pattern = PatternFamily::Singleton;
+        spec.classes[0].pages = 10_000_000;
+        spec.classes[0].reuse = 0.0;
+        spec.classes[0].aligned = false;
+        let records: Vec<_> = TraceGenerator::from_spec(&spec, 1, 13)
+            .take(5_000)
+            .collect();
+        let mut per_page: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for r in &records {
+            per_page
+                .entry(r.addr.raw() / 2048)
+                .or_default()
+                .insert(r.addr.raw() % 2048 / 64);
+        }
+        let multi = per_page.values().filter(|s| s.len() > 1).count();
+        // Collisions are possible but must be rare.
+        assert!(multi * 50 < per_page.len(), "{multi}/{}", per_page.len());
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let records: Vec<_> = TraceGenerator::from_spec(&single_class_spec(), 2, 17)
+            .take(50_000)
+            .collect();
+        let writes = records.iter().filter(|r| r.kind.is_write()).count();
+        let frac = writes as f64 / records.len() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "write fraction {frac}");
+    }
+
+    #[test]
+    fn multiprogrammed_cores_use_private_regions() {
+        let records: Vec<_> = TraceGenerator::new(WorkloadKind::Multiprogrammed, 4, 23)
+            .take(50_000)
+            .collect();
+        // Odd cores stream privately: same class, different cores, must not
+        // share addresses.
+        let mut by_core: HashMap<u8, HashSet<u64>> = HashMap::new();
+        for r in records.iter().filter(|r| r.core % 2 == 1) {
+            by_core.entry(r.core).or_default().insert(r.addr.raw());
+        }
+        let c1 = by_core.get(&1).cloned().unwrap_or_default();
+        let c3 = by_core.get(&3).cloned().unwrap_or_default();
+        assert!(!c1.is_empty() && !c3.is_empty());
+        assert!(c1.is_disjoint(&c3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        TraceGenerator::new(WorkloadKind::WebSearch, 0, 1);
+    }
+
+    #[test]
+    fn addresses_fall_in_class_regions() {
+        let records: Vec<_> = TraceGenerator::new(WorkloadKind::WebFrontend, 8, 31)
+            .take(20_000)
+            .collect();
+        let nclasses = WorkloadKind::WebFrontend.spec().classes.len() as u64;
+        for r in &records {
+            let region = r.addr.raw() >> 40;
+            assert!(region >= 1 && region <= nclasses, "address {region}");
+        }
+    }
+}

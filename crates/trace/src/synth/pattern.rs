@@ -1,0 +1,189 @@
+//! Footprint pattern families.
+//!
+//! A pattern is the set of block-offset *deltas* (relative to the visit's
+//! start offset, modulo the 32-block structure chunk) that one access
+//! function touches. Deltas are derived deterministically from
+//! (seed, class, function, phase), so the same PC always produces the same
+//! spatial footprint — the correlation property behind the paper's
+//! predictor (Section 3.1, citing spatial memory streaming [34]).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Number of 64-byte blocks in one 2 KB structure chunk. Patterns are
+/// defined at this granularity independently of the simulated cache's page
+/// size, mirroring how real data-structure layouts do not change when the
+/// cache's allocation unit does.
+pub const CHUNK_BLOCKS: usize = 32;
+
+/// The shape of the block set an access function touches within a chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternFamily {
+    /// A contiguous run of `min..=max` blocks (structured records).
+    Dense {
+        /// Minimum run length.
+        min: u8,
+        /// Maximum run length.
+        max: u8,
+    },
+    /// `min..=max` blocks at function-specific scattered offsets
+    /// (irregular structures: SAT clause graphs).
+    Sparse {
+        /// Minimum block count.
+        min: u8,
+        /// Maximum block count.
+        max: u8,
+    },
+    /// `count` blocks every `stride` blocks (column accesses).
+    Strided {
+        /// Distance between touched blocks.
+        stride: u8,
+        /// Number of touched blocks.
+        count: u8,
+    },
+    /// All 32 blocks of the chunk (sequential scans).
+    Full,
+    /// Exactly one block — the singleton-page generator (Section 3.2).
+    Singleton,
+}
+
+impl PatternFamily {
+    /// Mean number of blocks a pattern from this family touches.
+    pub fn mean_len(&self) -> f64 {
+        match *self {
+            PatternFamily::Dense { min, max } | PatternFamily::Sparse { min, max } => {
+                (min as f64 + max as f64) / 2.0
+            }
+            PatternFamily::Strided { count, .. } => count as f64,
+            PatternFamily::Full => CHUNK_BLOCKS as f64,
+            PatternFamily::Singleton => 1.0,
+        }
+    }
+
+    /// Derives the concrete delta mask for `function` under `salt`.
+    ///
+    /// The result is a bit mask over `0..32` deltas with bit 0 always set
+    /// (the triggering access is part of the footprint). The derivation is
+    /// a pure function of its arguments: equal inputs yield equal patterns.
+    pub fn derive(&self, seed: u64, class: u16, function: u16, salt: u64) -> u32 {
+        let key = splitmix(
+            seed ^ (class as u64) << 48 ^ (function as u64) << 32 ^ salt.wrapping_mul(0x9e37),
+        );
+        let mut rng = SmallRng::seed_from_u64(key);
+        let mask: u32 = match *self {
+            PatternFamily::Dense { min, max } => {
+                let len = rng.random_range(min..=max).clamp(1, CHUNK_BLOCKS as u8) as u32;
+                if len >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << len) - 1
+                }
+            }
+            PatternFamily::Sparse { min, max } => {
+                let len = rng.random_range(min..=max).clamp(1, CHUNK_BLOCKS as u8) as usize;
+                let mut m = 1u32; // delta 0 always present
+                while (m.count_ones() as usize) < len {
+                    m |= 1 << rng.random_range(0..CHUNK_BLOCKS as u32);
+                }
+                m
+            }
+            PatternFamily::Strided { stride, count } => {
+                let stride = stride.max(1) as usize;
+                let mut m = 0u32;
+                for i in 0..count as usize {
+                    let d = i * stride;
+                    if d >= CHUNK_BLOCKS {
+                        break;
+                    }
+                    m |= 1 << d;
+                }
+                m | 1
+            }
+            PatternFamily::Full => u32::MAX,
+            PatternFamily::Singleton => 1,
+        };
+        mask | 1
+    }
+}
+
+/// SplitMix64 finalizer: cheap, high-quality 64-bit mixing for seed
+/// derivation.
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let fam = PatternFamily::Dense { min: 4, max: 16 };
+        let a = fam.derive(42, 1, 2, 0);
+        let b = fam.derive(42, 1, 2, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_functions_differ_often() {
+        let fam = PatternFamily::Sparse { min: 3, max: 12 };
+        let patterns: Vec<u32> = (0..32).map(|f| fam.derive(7, 0, f, 0)).collect();
+        let distinct: std::collections::HashSet<_> = patterns.iter().collect();
+        assert!(distinct.len() > 16, "patterns collide too much");
+    }
+
+    #[test]
+    fn salt_changes_pattern() {
+        // The SAT Solver drift mechanism: a new phase re-derives patterns.
+        let fam = PatternFamily::Sparse { min: 6, max: 12 };
+        let changed = (0..16)
+            .filter(|&f| fam.derive(9, 0, f, 0) != fam.derive(9, 0, f, 1))
+            .count();
+        assert!(changed > 10);
+    }
+
+    #[test]
+    fn family_shapes() {
+        assert_eq!(PatternFamily::Full.derive(1, 0, 0, 0), u32::MAX);
+        assert_eq!(PatternFamily::Singleton.derive(1, 0, 0, 0), 1);
+        let strided = PatternFamily::Strided { stride: 8, count: 4 }.derive(1, 0, 0, 0);
+        assert_eq!(strided, 1 | 1 << 8 | 1 << 16 | 1 << 24);
+    }
+
+    #[test]
+    fn mean_len_matches_family() {
+        assert_eq!(PatternFamily::Full.mean_len(), 32.0);
+        assert_eq!(PatternFamily::Singleton.mean_len(), 1.0);
+        assert_eq!(PatternFamily::Dense { min: 4, max: 8 }.mean_len(), 6.0);
+    }
+
+    proptest! {
+        /// Every derived pattern contains delta 0 and respects size bounds.
+        #[test]
+        fn pattern_wellformed(seed: u64, class: u16, func: u16, salt in 0u64..8) {
+            for fam in [
+                PatternFamily::Dense { min: 2, max: 10 },
+                PatternFamily::Sparse { min: 1, max: 8 },
+                PatternFamily::Strided { stride: 4, count: 8 },
+                PatternFamily::Full,
+                PatternFamily::Singleton,
+            ] {
+                let m = fam.derive(seed, class, func, salt);
+                prop_assert!(m & 1 == 1, "delta 0 missing");
+                match fam {
+                    PatternFamily::Dense { max, .. } =>
+                        prop_assert!(m.count_ones() <= max as u32 + 1),
+                    PatternFamily::Sparse { max, .. } =>
+                        prop_assert!(m.count_ones() <= max as u32 + 1),
+                    PatternFamily::Singleton => prop_assert_eq!(m, 1),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Zipfian page-popularity sampling.
+//!
+//! Scale-out datasets are "randomly distributed across memory, without
+//! forming a particular working set" (Section 6.7), but request popularity
+//! is still skewed; the classic server-workload model is a Zipf
+//! distribution. This sampler uses the Gray et al. method (popularized by
+//! YCSB's `ZipfianGenerator`): O(n) construction, O(1) sampling.
+
+use rand::Rng;
+
+/// Samples page indices in `0..n` with probability ∝ `1/(k+1)^theta`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` in `[0, 1)`.
+    /// `theta = 0` degenerates to uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty range");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact sum for small n; integral approximation of the tail for
+        // large n keeps construction fast for multi-million-page regions.
+        const EXACT: u64 = 1_000_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-theta dx from EXACT to n.
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (EXACT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.random_range(0..self.n);
+        }
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+
+    /// The size of the sampled range.
+    pub fn range(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = 0u64;
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            if z.sample(&mut rng) < 500 {
+                lo += 1;
+            }
+        }
+        let frac = lo as f64 / DRAWS as f64;
+        assert!((frac - 0.5).abs() < 0.02, "uniform half-split, got {frac}");
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_indices() {
+        let z = Zipf::new(1_000_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u64;
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            // Top 1% of pages should receive far more than 1% of draws.
+            if z.sample(&mut rng) < 10_000 {
+                head += 1;
+            }
+        }
+        let frac = head as f64 / DRAWS as f64;
+        assert!(frac > 0.3, "zipf(0.9) head mass too small: {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for theta in [0.0, 0.5, 0.99] {
+            let z = Zipf::new(37, theta);
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn large_range_construction_is_fast_and_sane() {
+        // 16M pages: construction must use the tail approximation.
+        let z = Zipf::new(16_000_000, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 16_000_000);
+        }
+        assert_eq!(z.range(), 16_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_range() {
+        Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_theta_one() {
+        Zipf::new(10, 1.0);
+    }
+}

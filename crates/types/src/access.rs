@@ -1,0 +1,109 @@
+//! Core-issued memory accesses.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PhysAddr, Pc};
+
+/// Identifier of a core within the simulated pod (0..16 in the paper's
+/// configuration).
+pub type CoreId = u8;
+
+/// Whether a memory access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this is a write.
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        })
+    }
+}
+
+/// A single memory reference issued by a core.
+///
+/// Carries the program counter of the issuing instruction: Footprint Cache
+/// transfers the PC along with read/write requests through the on-chip
+/// network (Section 7, "Transfer of PC"), because the PC & offset pair keys
+/// footprint prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Program counter of the instruction performing the access.
+    pub pc: Pc,
+    /// Physical byte address accessed.
+    pub addr: PhysAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Issuing core.
+    pub core: CoreId,
+}
+
+impl MemAccess {
+    /// Convenience constructor for a read.
+    #[inline]
+    pub fn read(pc: Pc, addr: PhysAddr, core: CoreId) -> Self {
+        Self {
+            pc,
+            addr,
+            kind: AccessKind::Read,
+            core,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    #[inline]
+    pub fn write(pc: Pc, addr: PhysAddr, core: CoreId) -> Self {
+        Self {
+            pc,
+            addr,
+            kind: AccessKind::Write,
+            core,
+        }
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core{} {} {} pc={}",
+            self.core, self.kind, self.addr, self.pc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemAccess::read(Pc::new(1), PhysAddr::new(2), 3);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(!r.kind.is_write());
+        let w = MemAccess::write(Pc::new(1), PhysAddr::new(2), 3);
+        assert!(w.kind.is_write());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = MemAccess::read(Pc::new(0x400), PhysAddr::new(0x80), 7);
+        assert_eq!(format!("{r}"), "core7 R 0x80 pc=0x400");
+    }
+}

@@ -1,0 +1,189 @@
+//! Address newtypes.
+//!
+//! All four types wrap a `u64` but are deliberately distinct so that a
+//! byte address cannot be passed where a block or page number is expected
+//! (C-NEWTYPE). Conversions between the spaces go through
+//! [`PageGeometry`](crate::PageGeometry) or the block-size constants, which
+//! makes the shift amounts explicit at every call site.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BLOCK_SHIFT, BLOCK_SIZE};
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw `u64` value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw `u64` value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(v: $name) -> u64 {
+                v.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A physical byte address.
+    ///
+    /// The simulated machine uses 40-bit physical addressing (ARM extended
+    /// addressing, Section 5.2 of the paper), but the type does not enforce
+    /// a width; workload generators simply stay within 40 bits.
+    PhysAddr
+}
+
+addr_newtype! {
+    /// A 64-byte block number: a [`PhysAddr`] shifted right by
+    /// [`BLOCK_SHIFT`](crate::BLOCK_SHIFT).
+    BlockAddr
+}
+
+addr_newtype! {
+    /// A page number: a [`PhysAddr`] divided by the page size. The page size
+    /// is a run-time parameter (1–4 KB in the paper), carried by
+    /// [`PageGeometry`](crate::PageGeometry).
+    PageAddr
+}
+
+addr_newtype! {
+    /// A program counter: the address of the instruction that issued a
+    /// memory access. Footprint prediction is keyed by PC & offset
+    /// (Section 3.1).
+    Pc
+}
+
+impl PhysAddr {
+    /// Returns the block this byte address falls in.
+    ///
+    /// ```
+    /// use fc_types::{PhysAddr, BlockAddr};
+    /// assert_eq!(PhysAddr::new(0x1000).block(), BlockAddr::new(0x40));
+    /// assert_eq!(PhysAddr::new(0x103f).block(), BlockAddr::new(0x40));
+    /// ```
+    #[inline]
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr::new(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// Byte offset of this address within its 64-byte block.
+    #[inline]
+    pub const fn byte_in_block(self) -> usize {
+        (self.0 as usize) & (BLOCK_SIZE - 1)
+    }
+}
+
+impl BlockAddr {
+    /// First byte address of this block.
+    ///
+    /// ```
+    /// use fc_types::{BlockAddr, PhysAddr};
+    /// assert_eq!(BlockAddr::new(3).base(), PhysAddr::new(0xc0));
+    /// ```
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.0 << BLOCK_SHIFT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_addr_truncates() {
+        assert_eq!(PhysAddr::new(0).block(), BlockAddr::new(0));
+        assert_eq!(PhysAddr::new(63).block(), BlockAddr::new(0));
+        assert_eq!(PhysAddr::new(64).block(), BlockAddr::new(1));
+        assert_eq!(PhysAddr::new(130).block(), BlockAddr::new(2));
+    }
+
+    #[test]
+    fn block_base_round_trips() {
+        for raw in [0u64, 1, 17, 0xffff_ffff] {
+            let b = BlockAddr::new(raw);
+            assert_eq!(b.base().block(), b);
+        }
+    }
+
+    #[test]
+    fn byte_in_block_masks_low_bits() {
+        assert_eq!(PhysAddr::new(0x1040).byte_in_block(), 0);
+        assert_eq!(PhysAddr::new(0x1041).byte_in_block(), 1);
+        assert_eq!(PhysAddr::new(0x107f).byte_in_block(), 63);
+    }
+
+    #[test]
+    fn newtypes_are_distinct_display() {
+        let a = PhysAddr::new(0xabc);
+        assert_eq!(format!("{a}"), "0xabc");
+        assert_eq!(format!("{a:?}"), "PhysAddr(0xabc)");
+        assert_eq!(format!("{a:x}"), "abc");
+        assert_eq!(format!("{a:X}"), "ABC");
+    }
+
+    #[test]
+    fn conversion_traits_round_trip() {
+        let p: Pc = 42u64.into();
+        let raw: u64 = p.into();
+        assert_eq!(raw, 42);
+        assert_eq!(Pc::new(42), p);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(PageAddr::new(1) < PageAddr::new(2));
+        assert_eq!(PageAddr::default(), PageAddr::new(0));
+    }
+}

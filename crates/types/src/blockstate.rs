@@ -1,0 +1,317 @@
+//! The paper's Table 2 per-block state encoding.
+//!
+//! Footprint Cache must distinguish blocks that were *demanded* by a core
+//! from blocks that were merely *prefetched* by the footprint predictor,
+//! without extra storage. Table 2 reuses the dirty (`d`) and valid (`v`)
+//! bits per block:
+//!
+//! | d v | state                                   |
+//! |-----|------------------------------------------|
+//! | 0 0 | block not in the cache                   |
+//! | 0 1 | valid, clean, **not demanded yet**       |
+//! | 1 0 | valid, clean, **was demanded**           |
+//! | 1 1 | valid, dirty, was demanded               |
+//!
+//! This works because a block cannot be dirty without having been demanded.
+//! The derived predicates are: `present = d | v`, `demanded = d`,
+//! `dirty = d & v`. The demanded vector (the `d` bits) is exactly the
+//! page's generated footprint, sent to the FHT on eviction (Section 4.3).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Footprint;
+
+/// The state of a single block within a cached page (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockState {
+    /// `d=0, v=0`: the block is not in the cache.
+    Absent,
+    /// `d=0, v=1`: valid and clean, fetched by prediction but not demanded
+    /// yet. If the page is evicted in this state the block was an
+    /// overprediction.
+    Prefetched,
+    /// `d=1, v=0`: valid and clean, was demanded by a core.
+    DemandedClean,
+    /// `d=1, v=1`: valid and dirty (therefore demanded).
+    DemandedDirty,
+}
+
+impl BlockState {
+    /// Whether the block is present in the cache.
+    #[inline]
+    pub const fn is_present(self) -> bool {
+        !matches!(self, BlockState::Absent)
+    }
+
+    /// Whether the block was demanded by a core.
+    #[inline]
+    pub const fn is_demanded(self) -> bool {
+        matches!(self, BlockState::DemandedClean | BlockState::DemandedDirty)
+    }
+
+    /// Whether the block holds modified data that must be written back.
+    #[inline]
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, BlockState::DemandedDirty)
+    }
+}
+
+impl fmt::Display for BlockState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BlockState::Absent => "absent",
+            BlockState::Prefetched => "prefetched",
+            BlockState::DemandedClean => "demanded-clean",
+            BlockState::DemandedDirty => "demanded-dirty",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-page block state: two bit vectors (`d`, `v`) encoding Table 2 for
+/// every block of a page.
+///
+/// # Examples
+///
+/// ```
+/// use fc_types::{BlockState, BlockStateVec};
+///
+/// let mut states = BlockStateVec::new();
+/// states.fill_prefetched(3);          // predictor fetched block 3
+/// assert_eq!(states.state(3), BlockState::Prefetched);
+///
+/// states.demand_read(3);              // a core later reads it
+/// assert_eq!(states.state(3), BlockState::DemandedClean);
+///
+/// states.demand_write(3);             // and writes it
+/// assert_eq!(states.state(3), BlockState::DemandedDirty);
+///
+/// // The demanded vector is the page's footprint:
+/// assert_eq!(states.demanded().len(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BlockStateVec {
+    d: u64,
+    v: u64,
+}
+
+impl BlockStateVec {
+    /// A page with every block absent.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { d: 0, v: 0 }
+    }
+
+    /// Decodes the state of the block at `offset`.
+    #[inline]
+    pub const fn state(&self, offset: usize) -> BlockState {
+        let d = (self.d >> offset) & 1;
+        let v = (self.v >> offset) & 1;
+        match (d, v) {
+            (0, 0) => BlockState::Absent,
+            (0, 1) => BlockState::Prefetched,
+            (1, 0) => BlockState::DemandedClean,
+            _ => BlockState::DemandedDirty,
+        }
+    }
+
+    /// Marks a block as fetched by prediction (state `01`).
+    ///
+    /// Overwrites any previous state; used only when filling a page.
+    #[inline]
+    pub fn fill_prefetched(&mut self, offset: usize) {
+        let bit = 1u64 << offset;
+        self.d &= !bit;
+        self.v |= bit;
+    }
+
+    /// Records a demand *read* of the block at `offset`.
+    ///
+    /// A prefetched block (`01`) transitions to demanded-clean (`10`).
+    /// A dirty block stays dirty. An absent block becomes demanded-clean
+    /// (demand fill).
+    #[inline]
+    pub fn demand_read(&mut self, offset: usize) {
+        let bit = 1u64 << offset;
+        if self.d & bit == 0 {
+            // 00 -> 10 (demand fill) or 01 -> 10 (first demand of prefetch)
+            self.d |= bit;
+            self.v &= !bit;
+        }
+        // 10 and 11 are already demanded; leave dirtiness untouched.
+    }
+
+    /// Records a demand *write* of the block at `offset` (state `11`).
+    #[inline]
+    pub fn demand_write(&mut self, offset: usize) {
+        let bit = 1u64 << offset;
+        self.d |= bit;
+        self.v |= bit;
+    }
+
+    /// Removes the block at `offset` (state `00`).
+    #[inline]
+    pub fn clear(&mut self, offset: usize) {
+        let bit = !(1u64 << offset);
+        self.d &= bit;
+        self.v &= bit;
+    }
+
+    /// Blocks currently present in the cache.
+    #[inline]
+    pub const fn present(&self) -> Footprint {
+        Footprint::from_bits(self.d | self.v)
+    }
+
+    /// Blocks demanded by cores so far — the page's footprint, used as FHT
+    /// training feedback at eviction (Section 4.3).
+    #[inline]
+    pub const fn demanded(&self) -> Footprint {
+        Footprint::from_bits(self.d)
+    }
+
+    /// Dirty blocks that must be written back off-chip on eviction.
+    #[inline]
+    pub const fn dirty(&self) -> Footprint {
+        Footprint::from_bits(self.d & self.v)
+    }
+
+    /// Blocks fetched but never demanded — overpredictions if the page is
+    /// evicted now.
+    #[inline]
+    pub const fn prefetched_unused(&self) -> Footprint {
+        Footprint::from_bits(self.v & !self.d)
+    }
+}
+
+impl fmt::Display for BlockStateVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "present={} demanded={} dirty={}",
+            self.present(),
+            self.demanded(),
+            self.dirty()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table2_transitions() {
+        let mut s = BlockStateVec::new();
+        assert_eq!(s.state(5), BlockState::Absent);
+
+        s.fill_prefetched(5);
+        assert_eq!(s.state(5), BlockState::Prefetched);
+
+        s.demand_read(5);
+        assert_eq!(s.state(5), BlockState::DemandedClean);
+
+        s.demand_write(5);
+        assert_eq!(s.state(5), BlockState::DemandedDirty);
+
+        // A read of a dirty block must not clean it.
+        s.demand_read(5);
+        assert_eq!(s.state(5), BlockState::DemandedDirty);
+
+        s.clear(5);
+        assert_eq!(s.state(5), BlockState::Absent);
+    }
+
+    #[test]
+    fn demand_fill_on_absent_block() {
+        // Underprediction path: block demanded while absent, fetched from
+        // memory, enters demanded-clean directly.
+        let mut s = BlockStateVec::new();
+        s.demand_read(9);
+        assert_eq!(s.state(9), BlockState::DemandedClean);
+    }
+
+    #[test]
+    fn write_to_absent_block_is_dirty_demanded() {
+        let mut s = BlockStateVec::new();
+        s.demand_write(2);
+        assert_eq!(s.state(2), BlockState::DemandedDirty);
+    }
+
+    #[test]
+    fn derived_vectors_match_definitions() {
+        let mut s = BlockStateVec::new();
+        s.fill_prefetched(0); // 01
+        s.fill_prefetched(1);
+        s.demand_read(1); // 10
+        s.fill_prefetched(2);
+        s.demand_write(2); // 11
+
+        assert_eq!(s.present(), Footprint::from_offsets([0, 1, 2]));
+        assert_eq!(s.demanded(), Footprint::from_offsets([1, 2]));
+        assert_eq!(s.dirty(), Footprint::from_offsets([2]));
+        assert_eq!(s.prefetched_unused(), Footprint::from_offsets([0]));
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(!BlockState::Absent.is_present());
+        assert!(BlockState::Prefetched.is_present());
+        assert!(!BlockState::Prefetched.is_demanded());
+        assert!(BlockState::DemandedClean.is_demanded());
+        assert!(!BlockState::DemandedClean.is_dirty());
+        assert!(BlockState::DemandedDirty.is_dirty());
+    }
+
+    /// Arbitrary sequence of operations on one block offset.
+    fn apply(ops: &[u8], s: &mut BlockStateVec, off: usize) {
+        for op in ops {
+            match op % 4 {
+                0 => s.fill_prefetched(off),
+                1 => s.demand_read(off),
+                2 => s.demand_write(off),
+                _ => s.clear(off),
+            }
+        }
+    }
+
+    proptest! {
+        /// Table 2 invariants hold under any operation sequence:
+        /// dirty ⇒ demanded ⇒ present (for the derived vectors).
+        #[test]
+        fn invariant_chain(ops in proptest::collection::vec(any::<u8>(), 0..64),
+                           off in 0usize..64) {
+            let mut s = BlockStateVec::new();
+            apply(&ops, &mut s, off);
+            let dirty = s.dirty();
+            let demanded = s.demanded();
+            let present = s.present();
+            prop_assert_eq!(dirty.intersection(demanded), dirty);
+            prop_assert_eq!(demanded.intersection(present), demanded);
+        }
+
+        /// Blocks never interfere with each other.
+        #[test]
+        fn block_isolation(ops in proptest::collection::vec(any::<u8>(), 0..32),
+                           off_a in 0usize..64, off_b in 0usize..64) {
+            prop_assume!(off_a != off_b);
+            let mut s = BlockStateVec::new();
+            s.demand_write(off_b);
+            apply(&ops, &mut s, off_a);
+            prop_assert_eq!(s.state(off_b), BlockState::DemandedDirty);
+        }
+
+        /// present = demanded ∪ prefetched_unused, disjointly.
+        #[test]
+        fn present_partition(ops in proptest::collection::vec(any::<u8>(), 0..64),
+                             off in 0usize..64) {
+            let mut s = BlockStateVec::new();
+            apply(&ops, &mut s, off);
+            prop_assert_eq!(s.demanded().union(s.prefetched_unused()), s.present());
+            prop_assert!(s.demanded().intersection(s.prefetched_unused()).is_empty());
+        }
+    }
+}

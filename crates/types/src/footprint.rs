@@ -1,0 +1,321 @@
+//! The footprint bit vector: which blocks of a page are (or are predicted
+//! to be) touched during the page's on-chip residency.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of block offsets within one page, stored as a 64-bit vector.
+///
+/// Pages hold at most 64 blocks (4 KB pages of 64-byte blocks), so a `u64`
+/// suffices. This is the representation stored in the Footprint History
+/// Table and in the demanded-bit feedback sent on page eviction
+/// (Sections 4.2–4.3 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use fc_types::Footprint;
+///
+/// let predicted = Footprint::from_offsets([0, 1, 5]);
+/// let demanded = Footprint::from_offsets([1, 5, 9]);
+///
+/// // Blocks fetched but never used (overpredictions):
+/// assert_eq!(predicted.difference(demanded), Footprint::from_offsets([0]));
+/// // Blocks used but not fetched (underpredictions):
+/// assert_eq!(demanded.difference(predicted), Footprint::from_offsets([9]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Footprint(u64);
+
+impl Footprint {
+    /// Maximum number of blocks a footprint can describe.
+    pub const MAX_BLOCKS: usize = 64;
+
+    /// The empty footprint.
+    #[inline]
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// A footprint with the low `n` offsets set (a full page of `n` blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= Self::MAX_BLOCKS, "footprint limited to 64 blocks");
+        if n == 64 {
+            Self(u64::MAX)
+        } else {
+            Self((1u64 << n) - 1)
+        }
+    }
+
+    /// A footprint containing exactly one offset.
+    #[inline]
+    pub fn singleton(offset: usize) -> Self {
+        let mut fp = Self::empty();
+        fp.insert(offset);
+        fp
+    }
+
+    /// Builds a footprint from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bit representation.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a footprint from an iterator of block offsets.
+    #[inline]
+    pub fn from_offsets<I: IntoIterator<Item = usize>>(offsets: I) -> Self {
+        let mut fp = Self::empty();
+        for o in offsets {
+            fp.insert(o);
+        }
+        fp
+    }
+
+    /// Adds block `offset` to the footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= 64`.
+    #[inline]
+    pub fn insert(&mut self, offset: usize) {
+        debug_assert!(offset < Self::MAX_BLOCKS);
+        self.0 |= 1u64 << offset;
+    }
+
+    /// Removes block `offset` from the footprint.
+    #[inline]
+    pub fn remove(&mut self, offset: usize) {
+        debug_assert!(offset < Self::MAX_BLOCKS);
+        self.0 &= !(1u64 << offset);
+    }
+
+    /// Whether block `offset` is in the footprint.
+    #[inline]
+    pub const fn contains(self, offset: usize) -> bool {
+        (self.0 >> offset) & 1 == 1
+    }
+
+    /// Number of blocks in the footprint — the paper's *page density*
+    /// (Figure 4).
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the footprint is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the footprint contains exactly one block — the singleton-page
+    /// predicate of the capacity optimization (Sections 3.2 and 4.4).
+    #[inline]
+    pub const fn is_singleton(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: Self) -> Self {
+        Self(self.0 & other.0)
+    }
+
+    /// Blocks in `self` but not in `other`.
+    #[inline]
+    pub const fn difference(self, other: Self) -> Self {
+        Self(self.0 & !other.0)
+    }
+
+    /// Iterates over the block offsets in the footprint, ascending.
+    ///
+    /// ```
+    /// use fc_types::Footprint;
+    /// let fp = Footprint::from_offsets([3, 31, 7]);
+    /// let v: Vec<usize> = fp.iter().collect();
+    /// assert_eq!(v, [3, 7, 31]);
+    /// ```
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl FromIterator<usize> for Footprint {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Self::from_offsets(iter)
+    }
+}
+
+impl IntoIterator for Footprint {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Footprint({:#018x}, n={})", self.0, self.len())
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, off) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{off}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Binary for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// Iterator over the block offsets of a [`Footprint`], ascending.
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let off = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(off)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(Footprint::empty().is_empty());
+        assert_eq!(Footprint::full(32).len(), 32);
+        assert_eq!(Footprint::full(64).len(), 64);
+        assert_eq!(Footprint::full(0), Footprint::empty());
+    }
+
+    #[test]
+    fn singleton_detection() {
+        assert!(Footprint::singleton(17).is_singleton());
+        assert!(!Footprint::empty().is_singleton());
+        assert!(!Footprint::from_offsets([1, 2]).is_singleton());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut fp = Footprint::empty();
+        fp.insert(0);
+        fp.insert(63);
+        assert!(fp.contains(0) && fp.contains(63) && !fp.contains(32));
+        fp.remove(0);
+        assert!(!fp.contains(0));
+        assert_eq!(fp.len(), 1);
+    }
+
+    #[test]
+    fn display_formats_offsets() {
+        let fp = Footprint::from_offsets([2, 0]);
+        assert_eq!(format!("{fp}"), "{0,2}");
+        assert_eq!(format!("{}", Footprint::empty()), "{}");
+    }
+
+    #[test]
+    fn iter_ascending_and_exact_size() {
+        let fp = Footprint::from_offsets([5, 1, 60]);
+        let it = fp.iter();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![1, 5, 60]);
+    }
+
+    #[test]
+    fn over_under_prediction_algebra() {
+        // predicted vs demanded: exactly the Section 3.1 definitions.
+        let predicted = Footprint::from_offsets([0, 1, 2, 3]);
+        let demanded = Footprint::from_offsets([2, 3, 4]);
+        let over = predicted.difference(demanded);
+        let under = demanded.difference(predicted);
+        let covered = predicted.intersection(demanded);
+        assert_eq!(over.len(), 2);
+        assert_eq!(under.len(), 1);
+        assert_eq!(covered.len(), 2);
+        assert_eq!(covered.union(under), demanded);
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_superset(a: u64, b: u64) {
+            let (fa, fb) = (Footprint::from_bits(a), Footprint::from_bits(b));
+            let u = fa.union(fb);
+            prop_assert_eq!(u.intersection(fa), fa);
+            prop_assert_eq!(u.intersection(fb), fb);
+        }
+
+        #[test]
+        fn difference_disjoint_from_other(a: u64, b: u64) {
+            let (fa, fb) = (Footprint::from_bits(a), Footprint::from_bits(b));
+            prop_assert!(fa.difference(fb).intersection(fb).is_empty());
+        }
+
+        #[test]
+        fn partition_by_other_reconstructs(a: u64, b: u64) {
+            let (fa, fb) = (Footprint::from_bits(a), Footprint::from_bits(b));
+            let recon = fa.difference(fb).union(fa.intersection(fb));
+            prop_assert_eq!(recon, fa);
+        }
+
+        #[test]
+        fn len_matches_iter_count(bits: u64) {
+            let fp = Footprint::from_bits(bits);
+            prop_assert_eq!(fp.len(), fp.iter().count());
+        }
+
+        #[test]
+        fn from_offsets_round_trips(bits: u64) {
+            let fp = Footprint::from_bits(bits);
+            prop_assert_eq!(Footprint::from_offsets(fp.iter()), fp);
+        }
+    }
+}

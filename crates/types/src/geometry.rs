@@ -1,0 +1,184 @@
+//! Page-size / block-size arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BlockAddr, PageAddr, PhysAddr, BLOCK_SHIFT, BLOCK_SIZE};
+
+/// The geometry of a paged address space: how byte addresses decompose into
+/// (page, block-offset) pairs.
+///
+/// The paper evaluates page sizes of 1, 2 and 4 KB with fixed 64-byte blocks
+/// (Figure 8); 2 KB — matching common DRAM row sizes — is the default used
+/// in the evaluation. The footprint bit vector
+/// ([`Footprint`](crate::Footprint)) holds up to 64 blocks, so pages may be
+/// at most 4 KB.
+///
+/// # Examples
+///
+/// ```
+/// use fc_types::{PageGeometry, PhysAddr};
+///
+/// let geom = PageGeometry::new(2048);
+/// assert_eq!(geom.blocks_per_page(), 32);
+/// let a = PhysAddr::new(2048 * 5 + 64 * 3 + 7);
+/// assert_eq!(geom.page_of(a).raw(), 5);
+/// assert_eq!(geom.block_offset(a), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PageGeometry {
+    page_size: usize,
+    page_shift: u32,
+}
+
+impl PageGeometry {
+    /// Creates a geometry with the given page size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two, is smaller than one
+    /// block (64 B), or is larger than 4 KB (the footprint bit-vector
+    /// limit).
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two, got {page_size}"
+        );
+        assert!(
+            (BLOCK_SIZE..=4096).contains(&page_size),
+            "page size must be within [64, 4096] bytes, got {page_size}"
+        );
+        Self {
+            page_size,
+            page_shift: page_size.trailing_zeros(),
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn page_size(self) -> usize {
+        self.page_size
+    }
+
+    /// log2 of the page size.
+    #[inline]
+    pub const fn page_shift(self) -> u32 {
+        self.page_shift
+    }
+
+    /// Number of 64-byte blocks in one page (at most 64).
+    #[inline]
+    pub const fn blocks_per_page(self) -> usize {
+        self.page_size / BLOCK_SIZE
+    }
+
+    /// The page containing byte address `addr`.
+    #[inline]
+    pub const fn page_of(self, addr: PhysAddr) -> PageAddr {
+        PageAddr::new(addr.raw() >> self.page_shift)
+    }
+
+    /// The page containing block `block`.
+    #[inline]
+    pub const fn page_of_block(self, block: BlockAddr) -> PageAddr {
+        PageAddr::new(block.raw() >> (self.page_shift - BLOCK_SHIFT))
+    }
+
+    /// Index of `addr`'s block within its page: the *offset* of the
+    /// PC & offset prediction key (Section 3.1).
+    #[inline]
+    pub const fn block_offset(self, addr: PhysAddr) -> usize {
+        ((addr.raw() >> BLOCK_SHIFT) as usize) & (self.blocks_per_page() - 1)
+    }
+
+    /// Index of `block` within its page.
+    #[inline]
+    pub const fn block_offset_of_block(self, block: BlockAddr) -> usize {
+        (block.raw() as usize) & (self.blocks_per_page() - 1)
+    }
+
+    /// First byte address of page `page`.
+    #[inline]
+    pub const fn page_base(self, page: PageAddr) -> PhysAddr {
+        PhysAddr::new(page.raw() << self.page_shift)
+    }
+
+    /// The block at `offset` within `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= blocks_per_page()`.
+    #[inline]
+    pub fn block_at(self, page: PageAddr, offset: usize) -> BlockAddr {
+        debug_assert!(offset < self.blocks_per_page());
+        BlockAddr::new((page.raw() << (self.page_shift - BLOCK_SHIFT)) | offset as u64)
+    }
+}
+
+impl Default for PageGeometry {
+    /// The paper's evaluation default: 2 KB pages.
+    fn default() -> Self {
+        Self::new(2048)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_2kb() {
+        let g = PageGeometry::default();
+        assert_eq!(g.page_size(), 2048);
+        assert_eq!(g.blocks_per_page(), 32);
+        assert_eq!(g.page_shift(), 11);
+    }
+
+    #[test]
+    fn all_paper_page_sizes_supported() {
+        for (size, blocks) in [(1024, 16), (2048, 32), (4096, 64)] {
+            let g = PageGeometry::new(size);
+            assert_eq!(g.blocks_per_page(), blocks);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        PageGeometry::new(3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn rejects_oversized_page() {
+        PageGeometry::new(8192);
+    }
+
+    #[test]
+    fn page_and_offset_decompose_address() {
+        let g = PageGeometry::new(2048);
+        let addr = PhysAddr::new(7 * 2048 + 13 * 64 + 5);
+        assert_eq!(g.page_of(addr).raw(), 7);
+        assert_eq!(g.block_offset(addr), 13);
+        let blk = addr.block();
+        assert_eq!(g.page_of_block(blk).raw(), 7);
+        assert_eq!(g.block_offset_of_block(blk), 13);
+    }
+
+    #[test]
+    fn block_at_recomposes() {
+        let g = PageGeometry::new(1024);
+        let page = PageAddr::new(99);
+        for off in 0..g.blocks_per_page() {
+            let b = g.block_at(page, off);
+            assert_eq!(g.page_of_block(b), page);
+            assert_eq!(g.block_offset_of_block(b), off);
+        }
+    }
+
+    #[test]
+    fn page_base_round_trips() {
+        let g = PageGeometry::new(4096);
+        let page = PageAddr::new(123456);
+        assert_eq!(g.page_of(g.page_base(page)), page);
+    }
+}

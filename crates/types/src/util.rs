@@ -1,0 +1,99 @@
+//! Small numeric helpers used by reports and experiment tables.
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+///
+/// ```
+/// assert_eq!(fc_types::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(fc_types::mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of a slice of positive values. Returns 0.0 for an empty
+/// slice. The paper reports geometric means across workloads (Figure 6) and
+/// across per-core IPCs for the multiprogrammed workload (Section 5.4).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+///
+/// ```
+/// let g = fc_types::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// The `p`-th percentile (0.0–100.0) of a slice, by linear interpolation.
+/// Returns 0.0 for an empty slice.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(fc_types::percentile(&xs, 50.0), 2.5);
+/// assert_eq!(fc_types::percentile(&xs, 100.0), 4.0);
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn geomean_single() {
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 3.0);
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_empty() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! A design-space sweep: every DRAM cache design × capacity on one
+//! workload, printing the three axes the paper's title promises — hit
+//! ratio, latency (throughput as its proxy), and bandwidth.
+//!
+//! Run with (workload name optional):
+//!
+//! ```sh
+//! cargo run --release -p fc-sim --example design_space -- "Web Frontend"
+//! ```
+
+use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_trace::WorkloadKind;
+
+fn main() {
+    let wanted = std::env::args().nth(1);
+    let workload = match wanted.as_deref() {
+        None => WorkloadKind::WebFrontend,
+        Some(name) => WorkloadKind::ALL
+            .into_iter()
+            .find(|w| w.name().eq_ignore_ascii_case(name))
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "unknown workload `{name}`; pick one of: {}",
+                    WorkloadKind::ALL.map(|w| w.name()).join(", ")
+                );
+                std::process::exit(2);
+            }),
+    };
+
+    println!("design space on {workload} (16-core pod)");
+    println!(
+        "{:<26} {:>9} {:>10} {:>12} {:>12}",
+        "design", "hit %", "IPC/pod", "offchip B/i", "stacked B/i"
+    );
+
+    let mut designs = vec![DesignKind::Baseline];
+    for mb in [64u64, 256] {
+        designs.extend([
+            DesignKind::Block { mb },
+            DesignKind::Page { mb },
+            DesignKind::SubBlock { mb },
+            DesignKind::HotPage { mb },
+            DesignKind::Footprint { mb },
+        ]);
+    }
+    designs.push(DesignKind::Ideal);
+
+    for design in designs {
+        let mut sim = Simulation::new(SimConfig::default(), design);
+        let report = sim.run_workload(workload, 11, 2_500_000, 1_200_000);
+        let stacked_bpi = if report.insts > 0 {
+            report.stacked.bytes() as f64 / report.insts as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<26} {:>8.1}% {:>10.2} {:>12.3} {:>12.3}",
+            design.label(),
+            report.cache.hit_ratio() * 100.0,
+            report.throughput(),
+            report.offchip_bytes_per_inst(),
+            stacked_bpi,
+        );
+    }
+
+    println!();
+    println!(
+        "Reading guide: the block-based design keeps off-chip traffic low but\n\
+         wastes stacked bandwidth on tag accesses and hits rarely; the page-based\n\
+         design hits often but explodes off-chip traffic; the sub-blocked and\n\
+         hot-page designs each fix one problem and keep the other. Footprint\n\
+         Cache pairs the page hit ratio with the block traffic."
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a Footprint Cache pod, run a synthetic scale-out
+//! workload through it, and print the headline metrics next to the
+//! designs the paper compares against.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p fc-sim --example quickstart
+//! ```
+
+use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_trace::WorkloadKind;
+
+fn main() {
+    let workload = WorkloadKind::WebSearch;
+    // Enough warmup for the FHT to see a few residency generations at
+    // 256 MB; the experiment harness uses larger budgets still.
+    let warmup = 4_000_000;
+    let measured = 1_500_000;
+    let seed = 42;
+
+    println!("workload: {workload}, 16 cores, 256 MB stacked DRAM cache");
+    println!(
+        "{:<18} {:>9} {:>10} {:>12} {:>12}",
+        "design", "miss %", "IPC/pod", "offchip B/i", "stacked B/i"
+    );
+
+    for design in [
+        DesignKind::Baseline,
+        DesignKind::Block { mb: 256 },
+        DesignKind::Page { mb: 256 },
+        DesignKind::Footprint { mb: 256 },
+        DesignKind::Ideal,
+    ] {
+        let mut sim = Simulation::new(SimConfig::default(), design);
+        let report = sim.run_workload(workload, seed, warmup, measured);
+        let stacked_bpi = if report.insts > 0 {
+            report.stacked.bytes() as f64 / report.insts as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18} {:>8.1}% {:>10.2} {:>12.3} {:>12.3}",
+            design.label(),
+            report.cache.miss_ratio() * 100.0,
+            report.throughput(),
+            report.offchip_bytes_per_inst(),
+            stacked_bpi,
+        );
+    }
+}

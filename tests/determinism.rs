@@ -1,0 +1,127 @@
+//! Determinism and workload-model validation: equal seeds must replay
+//! identical simulations, and the synthetic workloads must exhibit the
+//! statistical properties the paper's analysis depends on.
+
+use fc_sim::{analysis, DesignKind, SimConfig, Simulation};
+use fc_trace::{TraceGenerator, WorkloadKind};
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let run = || {
+        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Footprint { mb: 64 });
+        sim.run_workload(WorkloadKind::DataServing, 999, 120_000, 80_000)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.insts, b.insts);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.offchip, b.offchip);
+    assert_eq!(a.stacked, b.stacked);
+    assert_eq!(a.prediction, b.prediction);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Baseline);
+        sim.run_workload(WorkloadKind::WebSearch, seed, 50_000, 50_000)
+    };
+    assert_ne!(run(1).cycles, run(2).cycles);
+}
+
+#[test]
+fn workload_density_profiles_differ_as_designed() {
+    // MapReduce scans must look denser than SAT Solver's sparse walks in
+    // the residency-free density bound.
+    let density_mean = |w: WorkloadKind| {
+        let records = TraceGenerator::new(w, 16, 5).take(400_000);
+        let hist = analysis::page_density(records, 2048);
+        let reps = [1.0, 2.5, 5.5, 11.5, 23.5, 32.0];
+        let f = hist.fractions();
+        f.iter().zip(reps).map(|(p, r)| p * r).sum::<f64>()
+    };
+    let search = density_mean(WorkloadKind::WebSearch);
+    let sat = density_mean(WorkloadKind::SatSolver);
+    assert!(
+        search > sat,
+        "Web Search ({search:.2}) must be denser than SAT Solver ({sat:.2})"
+    );
+}
+
+#[test]
+fn singleton_pages_exist_in_every_scale_out_workload() {
+    for w in [
+        WorkloadKind::DataServing,
+        WorkloadKind::MapReduce,
+        WorkloadKind::WebFrontend,
+        WorkloadKind::WebSearch,
+    ] {
+        let records = TraceGenerator::new(w, 16, 6).take(300_000);
+        let hist = analysis::page_density(records, 2048);
+        let f = hist.fractions();
+        assert!(
+            f[0] > 0.03,
+            "{w}: singleton fraction {:.3} too small",
+            f[0]
+        );
+    }
+}
+
+#[test]
+fn density_grows_with_cache_capacity() {
+    // The Figure 4 mechanism: longer residency exposes more of each
+    // page's visit. MapReduce's scans span far more than the 64 MB
+    // residency, so its eviction density must grow markedly by 256 MB
+    // (the paper's "very low density at 64/128 MB" observation). The
+    // caches must be warmed enough that evictions are steady-state.
+    let mean_density = |mb: u64| {
+        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Page { mb });
+        let r = sim.run_workload(WorkloadKind::MapReduce, 21, 4_000_000, 2_000_000);
+        let f = r.cache.density.fractions();
+        let reps = [1.0, 2.5, 5.5, 11.5, 23.5, 32.0];
+        f.iter().zip(reps).map(|(p, rep)| p * rep).sum::<f64>()
+    };
+    let small = mean_density(64);
+    let large = mean_density(256);
+    assert!(
+        large > small * 1.3,
+        "density must grow with capacity: 64MB={small:.2} vs 256MB={large:.2}"
+    );
+}
+
+#[test]
+fn trace_interleaving_is_roughly_time_ordered() {
+    // The generator merges per-core schedules by instruction time; the
+    // per-core cumulative instruction counts must stay within a modest
+    // band of each other.
+    let mut insts = [0u64; 16];
+    for r in TraceGenerator::new(WorkloadKind::WebFrontend, 16, 8).take(200_000) {
+        insts[r.core as usize] += r.inst_gap as u64;
+    }
+    let max = *insts.iter().max().unwrap() as f64;
+    let min = *insts.iter().min().unwrap() as f64;
+    assert!(
+        min / max > 0.5,
+        "cores drifted apart: min {min} vs max {max}"
+    );
+}
+
+#[test]
+fn multiprogrammed_resident_cores_hit_more_at_large_caches() {
+    // The even cores' working sets fit at 512 MB; the hit ratio must
+    // improve substantially from 64 MB to 512 MB.
+    let hit = |mb: u64| {
+        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Page { mb });
+        sim.run_workload(WorkloadKind::Multiprogrammed, 31, 1_000_000, 500_000)
+            .cache
+            .hit_ratio()
+    };
+    let small = hit(64);
+    let large = hit(512);
+    assert!(
+        large >= small,
+        "multiprogrammed hit ratio should not degrade with capacity: \
+         64MB={small:.3} 512MB={large:.3}"
+    );
+}

@@ -1,0 +1,151 @@
+//! End-to-end integration tests: trace generation → L2 → DRAM cache →
+//! DRAM timing/energy, exercising the same paths the experiment harness
+//! uses, at a scale fast enough for CI.
+
+use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_trace::{TraceGenerator, WorkloadKind};
+
+const WARMUP: u64 = 150_000;
+const MEASURED: u64 = 100_000;
+
+fn run(design: DesignKind, workload: WorkloadKind) -> fc_sim::SimReport {
+    let mut sim = Simulation::new(SimConfig::default(), design);
+    sim.run_workload(workload, 1234, WARMUP, MEASURED)
+}
+
+#[test]
+fn baseline_conservation_laws() {
+    let r = run(DesignKind::Baseline, WorkloadKind::WebSearch);
+    // Every DRAM-cache access misses; every miss reads exactly one block.
+    assert_eq!(r.cache.hits, 0);
+    assert_eq!(r.cache.misses, r.cache.accesses);
+    assert_eq!(r.cache.offchip_read_blocks, r.cache.misses);
+    // The DRAM model saw exactly the traffic the plans described.
+    assert!(r.offchip.read_blocks >= r.cache.offchip_read_blocks);
+    assert_eq!(r.stacked.read_blocks + r.stacked.write_blocks, 0);
+    // Time moved and instructions retired.
+    assert!(r.cycles > 0 && r.insts > 0);
+    assert!(r.throughput() > 0.0);
+}
+
+#[test]
+fn hits_plus_misses_equals_accesses_for_every_design() {
+    for design in [
+        DesignKind::Block { mb: 64 },
+        DesignKind::Page { mb: 64 },
+        DesignKind::Footprint { mb: 64 },
+        DesignKind::SubBlock { mb: 64 },
+        DesignKind::HotPage { mb: 64 },
+        DesignKind::Ideal,
+    ] {
+        let r = run(design, WorkloadKind::WebFrontend);
+        assert_eq!(
+            r.cache.hits + r.cache.misses,
+            r.cache.accesses,
+            "{}: hits+misses != accesses",
+            design.label()
+        );
+        assert!(r.cache.accesses > 0, "{}: no accesses", design.label());
+    }
+}
+
+#[test]
+fn energy_consistent_with_operation_counts() {
+    let r = run(DesignKind::Footprint { mb: 64 }, WorkloadKind::WebSearch);
+    // Energy must be positive exactly when the corresponding ops exist.
+    assert!(r.offchip.activates > 0);
+    assert!(r.offchip_energy.act_pre_nj > 0.0);
+    assert!(r.offchip_energy.burst_nj > 0.0);
+    assert!(r.stacked_energy.total_nj() > 0.0);
+    // Burst energy scales with blocks moved: recompute from counts.
+    let params = fc_dram::EnergyParams::off_chip_ddr3();
+    let expect = fc_dram::EnergyBreakdown::from_counts(
+        &params,
+        r.offchip.activates,
+        r.offchip.read_blocks,
+        r.offchip.write_blocks,
+    );
+    assert!((expect.burst_nj - r.offchip_energy.burst_nj).abs() < 1e-6);
+    assert!((expect.act_pre_nj - r.offchip_energy.act_pre_nj).abs() < 1e-6);
+}
+
+#[test]
+fn footprint_prediction_counters_flow_to_report() {
+    let r = run(DesignKind::Footprint { mb: 64 }, WorkloadKind::WebSearch);
+    let p = r.prediction.expect("footprint reports counters");
+    assert!(p.covered > 0, "predictor never covered a block");
+    // Only the footprint design reports counters.
+    let r2 = run(DesignKind::Page { mb: 64 }, WorkloadKind::WebSearch);
+    assert!(r2.prediction.is_none());
+}
+
+#[test]
+fn density_histograms_populated_for_page_designs() {
+    let r = run(DesignKind::Page { mb: 64 }, WorkloadKind::MapReduce);
+    assert!(
+        r.cache.density.total() > 0,
+        "page evictions must record densities"
+    );
+}
+
+#[test]
+fn stacked_dram_row_locality_of_page_fills() {
+    // Page-organized fills stream whole rows: activates per stacked write
+    // block must be far below 1.
+    let r = run(DesignKind::Page { mb: 64 }, WorkloadKind::WebSearch);
+    let act_per_block = r.stacked.activates as f64 / r.stacked.write_blocks.max(1) as f64;
+    assert!(
+        act_per_block < 0.5,
+        "page fills should amortize activations, got {act_per_block:.2}"
+    );
+}
+
+#[test]
+fn trace_io_round_trips_through_simulation_input() {
+    use fc_trace::{TraceReader, TraceWriter};
+    let records: Vec<_> = TraceGenerator::new(WorkloadKind::SatSolver, 4, 9)
+        .take(5000)
+        .collect();
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::new(&mut buf).unwrap();
+    for r in &records {
+        w.write(r).unwrap();
+    }
+    w.finish().unwrap();
+    let replayed: Vec<_> = TraceReader::new(buf.as_slice())
+        .unwrap()
+        .map(Result::unwrap)
+        .collect();
+    assert_eq!(records, replayed);
+
+    // Replaying the stored trace gives the same result as the generator.
+    let mut a = Simulation::new(SimConfig::small(), DesignKind::Footprint { mb: 64 });
+    let snap = a.snapshot();
+    let ra = a.run_records(records, &snap);
+    let mut b = Simulation::new(SimConfig::small(), DesignKind::Footprint { mb: 64 });
+    let snap = b.snapshot();
+    let rb = b.run_records(replayed, &snap);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.cache.hits, rb.cache.hits);
+}
+
+#[test]
+fn ideal_low_latency_beats_ideal() {
+    let normal = run(DesignKind::Ideal, WorkloadKind::DataServing).throughput();
+    let low = run(DesignKind::IdealLowLatency, WorkloadKind::DataServing).throughput();
+    assert!(
+        low >= normal,
+        "halved DRAM latency cannot hurt: {low:.3} vs {normal:.3}"
+    );
+}
+
+#[test]
+fn coverage_analysis_handles_all_workloads() {
+    for w in WorkloadKind::ALL {
+        let records = TraceGenerator::new(w, 16, 3).take(100_000);
+        let curve = fc_sim::analysis::coverage_curve(records, 4096, &[0.2, 0.8]);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[1].1 >= curve[0].1, "{w}: coverage not monotone");
+        assert!(curve[1].1 > 0.0);
+    }
+}

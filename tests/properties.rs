@@ -1,0 +1,171 @@
+//! Cross-crate property tests: conservation laws that must hold for any
+//! access stream, on every DRAM cache design and on the full simulator.
+
+use proptest::prelude::*;
+
+use fc_cache::{
+    BlockBasedCache, DramCacheModel, HotPageCache, IdealCache, NoCache, PageBasedCache,
+    SubBlockCache,
+};
+use fc_types::{AccessKind, MemAccess, PageGeometry, PhysAddr, Pc};
+use footprint_cache::{FootprintCache, FootprintCacheConfig};
+
+/// A compact encoding of a random access: (page, offset, pc-id, is_write,
+/// is_writeback).
+type Op = (u64, u8, u8, bool, bool);
+
+fn ops_strategy(max_pages: u64) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0..max_pages,
+            0u8..32,
+            0u8..8,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        ),
+        1..300,
+    )
+}
+
+fn apply(design: &mut dyn DramCacheModel, ops: &[Op]) {
+    for &(page, offset, pc, write, is_wb) in ops {
+        let addr = PhysAddr::new(page * 2048 + offset as u64 * 64);
+        if is_wb {
+            design.writeback(addr);
+        } else {
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            design.access(MemAccess {
+                pc: Pc::new(0x400 + pc as u64 * 4),
+                addr,
+                kind,
+                core: 0,
+            });
+        }
+    }
+}
+
+fn designs() -> Vec<Box<dyn DramCacheModel>> {
+    let geom = PageGeometry::default();
+    vec![
+        Box::new(NoCache::new()),
+        Box::new(IdealCache::new()),
+        Box::new(BlockBasedCache::new(1 << 20)),
+        Box::new(PageBasedCache::new(1 << 20, geom)),
+        Box::new(SubBlockCache::new(1 << 20, geom)),
+        Box::new(HotPageCache::new(1 << 20, PageGeometry::new(4096), 2)),
+        Box::new(FootprintCache::new(FootprintCacheConfig::new(1 << 20))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every design: hits + misses == accesses, bypasses <= misses,
+    /// dirty evictions <= evictions, and every plan's traffic is
+    /// reflected in the counters.
+    #[test]
+    fn accounting_invariants(ops in ops_strategy(64)) {
+        for mut design in designs() {
+            apply(design.as_mut(), &ops);
+            let s = design.stats().clone();
+            prop_assert_eq!(
+                s.hits + s.misses, s.accesses,
+                "{}: hits+misses != accesses", design.name()
+            );
+            prop_assert!(s.bypasses <= s.misses,
+                "{}: bypasses exceed misses", design.name());
+            prop_assert!(s.dirty_evictions <= s.evictions,
+                "{}: dirty evictions exceed evictions", design.name());
+        }
+    }
+
+    /// Designs that fill the stacked DRAM never read more blocks from
+    /// off-chip than they fill plus demand-read (no traffic out of thin
+    /// air), and the ideal cache never touches off-chip at all.
+    #[test]
+    fn traffic_conservation(ops in ops_strategy(64)) {
+        for mut design in designs() {
+            apply(design.as_mut(), &ops);
+            let s = design.stats().clone();
+            if design.name() == "Ideal" {
+                prop_assert_eq!(s.offchip_read_blocks, 0);
+                prop_assert_eq!(s.offchip_write_blocks, 0);
+            }
+            // Demand misses each read at least one off-chip block unless
+            // the design fills larger units; in all cases fills are part
+            // of the off-chip reads.
+            if design.name() != "Ideal" {
+                prop_assert!(
+                    s.offchip_read_blocks >= s.misses.min(s.fill_blocks),
+                    "{}: off-chip reads lost", design.name()
+                );
+            }
+        }
+    }
+
+    /// Footprint Cache specifics: demanded blocks at eviction partition
+    /// into covered + underpredicted; a re-run of the same stream is
+    /// deterministic.
+    #[test]
+    fn footprint_metrics_partition(ops in ops_strategy(32)) {
+        let mut a = FootprintCache::new(FootprintCacheConfig::new(1 << 20));
+        apply(&mut a, &ops);
+        a.flush();
+        let m = *a.metrics();
+        // Every eviction's demanded vector splits exactly.
+        prop_assert_eq!(m.demanded_blocks(), m.covered_blocks + m.underpredicted_blocks);
+
+        let mut b = FootprintCache::new(FootprintCacheConfig::new(1 << 20));
+        apply(&mut b, &ops);
+        b.flush();
+        prop_assert_eq!(&m, b.metrics());
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// The singleton optimization can only reduce fills (it never fetches
+    /// more than the unoptimized cache for the same stream).
+    #[test]
+    fn singleton_optimization_never_fetches_more(ops in ops_strategy(48)) {
+        let mut with = FootprintCache::new(FootprintCacheConfig::new(1 << 20));
+        let mut without = FootprintCache::new(
+            FootprintCacheConfig::new(1 << 20).with_singleton_optimization(false),
+        );
+        apply(&mut with, &ops);
+        apply(&mut without, &ops);
+        prop_assert!(
+            with.stats().fill_blocks <= without.stats().fill_blocks,
+            "ST must not increase fills: {} vs {}",
+            with.stats().fill_blocks,
+            without.stats().fill_blocks
+        );
+    }
+
+    /// Block-state encoding under the cache: a block reported hit must
+    /// have been filled or demanded earlier (no hits on never-seen
+    /// blocks).
+    #[test]
+    fn no_spurious_hits(ops in ops_strategy(1 << 30)) {
+        // With an enormous page space and no repetition, almost every
+        // access is unique: the only hits possible come from footprint
+        // prefetches within pages previously touched by the same PC.
+        let mut cache = FootprintCache::new(FootprintCacheConfig::new(1 << 20));
+        // Only demand accesses can create first-touch misses; writebacks
+        // are not accesses.
+        let unique_pages = ops
+            .iter()
+            .filter(|o| !o.4)
+            .map(|o| o.0)
+            .collect::<std::collections::HashSet<_>>();
+        apply(&mut cache, &ops);
+        let s = cache.stats();
+        // Hits can never exceed accesses minus one access per unique page
+        // (the first touch of a page can never hit).
+        prop_assert!(s.hits + unique_pages.len() as u64 <= s.accesses + s.bypasses,
+            "more hits than repeat accesses: hits={} uniques={} accesses={}",
+            s.hits, unique_pages.len(), s.accesses);
+    }
+}
