@@ -7,7 +7,7 @@ use std::hint::black_box;
 use fc_cache::{
     BlockBasedCache, DramCacheModel, HotPageCache, IdealCache, PageBasedCache, SubBlockCache,
 };
-use fc_types::{MemAccess, PageGeometry, PhysAddr, Pc};
+use fc_types::{MemAccess, PageGeometry, Pc, PhysAddr};
 use footprint_cache::{FootprintCache, FootprintCacheConfig};
 
 fn designs() -> Vec<(&'static str, Box<dyn DramCacheModel>)> {

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use fc_cache::DramCacheModel;
-use fc_types::{Footprint, MemAccess, PageAddr, PhysAddr, Pc};
+use fc_types::{Footprint, MemAccess, PageAddr, Pc, PhysAddr};
 use footprint_cache::{Fht, FootprintCache, FootprintCacheConfig, SingletonTable};
 
 fn bench_fht(c: &mut Criterion) {
@@ -52,11 +52,7 @@ fn bench_footprint_access(c: &mut Criterion) {
         let mut cache = FootprintCache::new(FootprintCacheConfig::new(64 << 20));
         cache.access(MemAccess::read(Pc::new(0x400), PhysAddr::new(0x10000), 0));
         b.iter(|| {
-            black_box(cache.access(MemAccess::read(
-                Pc::new(0x400),
-                PhysAddr::new(0x10000),
-                0,
-            )))
+            black_box(cache.access(MemAccess::read(Pc::new(0x400), PhysAddr::new(0x10000), 0)))
         });
     });
     group.bench_function("miss_alloc_path", |b| {

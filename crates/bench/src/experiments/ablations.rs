@@ -50,6 +50,13 @@ pub fn ablation_enhanced_baseline() -> String {
 
 /// Section 6.5: miss-rate impact of the singleton-page optimization.
 pub fn ablation_singleton(lab: &mut Lab) -> String {
+    let mut designs = Vec::new();
+    for mb in [64u64, 256] {
+        designs.push(DesignKind::Footprint { mb });
+        designs.push(DesignKind::footprint_no_singleton(mb));
+    }
+    lab.prefetch(&WorkloadKind::ALL, &designs);
+
     let mut table = Table::new(&[
         "workload",
         "MB",
@@ -60,10 +67,7 @@ pub fn ablation_singleton(lab: &mut Lab) -> String {
     let mut reductions = Vec::new();
     for w in WorkloadKind::ALL {
         for mb in [64u64, 256] {
-            let with = lab
-                .run(w, DesignKind::Footprint { mb })
-                .cache
-                .miss_ratio();
+            let with = lab.run(w, DesignKind::Footprint { mb }).cache.miss_ratio();
             let without = lab
                 .run(w, DesignKind::footprint_no_singleton(mb))
                 .cache
@@ -95,19 +99,23 @@ pub fn ablation_singleton(lab: &mut Lab) -> String {
 
 /// Prediction-key ablation: PC & offset vs PC-only vs offset-only.
 pub fn ablation_key(lab: &mut Lab) -> String {
-    let mut table = Table::new(&["workload", "key", "miss ratio", "covered", "overpred"]);
     let workloads = [
         WorkloadKind::DataServing,
         WorkloadKind::SatSolver,
         WorkloadKind::WebSearch,
     ];
+    let keyed_designs = [
+        ("PC & offset", KeyKind::PcOffset),
+        ("PC only", KeyKind::PcOnly),
+        ("offset only", KeyKind::OffsetOnly),
+    ]
+    .map(|(name, key)| (name, DesignKind::footprint_with_key(256, key)));
+    lab.prefetch(&workloads, &keyed_designs.map(|(_, d)| d));
+
+    let mut table = Table::new(&["workload", "key", "miss ratio", "covered", "overpred"]);
     for w in workloads {
-        for (name, key) in [
-            ("PC & offset", KeyKind::PcOffset),
-            ("PC only", KeyKind::PcOnly),
-            ("offset only", KeyKind::OffsetOnly),
-        ] {
-            let report = lab.run(w, DesignKind::footprint_with_key(256, key));
+        for (name, design) in keyed_designs {
+            let report = lab.run(w, design);
             let p = report.prediction.expect("footprint counters");
             let demanded = (p.covered + p.underpredicted).max(1) as f64;
             table.row(vec![
@@ -130,6 +138,14 @@ pub fn ablation_key(lab: &mut Lab) -> String {
 
 /// Page-cache writeback granularity ablation.
 pub fn ablation_writeback(lab: &mut Lab) -> String {
+    lab.prefetch(
+        &WorkloadKind::ALL,
+        &[
+            DesignKind::Page { mb: 256 },
+            DesignKind::PageDirtyBlockWb { mb: 256 },
+        ],
+    );
+
     let mut table = Table::new(&[
         "workload",
         "page WB (B/inst)",
@@ -159,6 +175,14 @@ pub fn ablation_writeback(lab: &mut Lab) -> String {
 
 /// Sub-blocked cache vs Footprint: the underprediction extreme.
 pub fn ablation_subblock(lab: &mut Lab) -> String {
+    lab.prefetch(
+        &WorkloadKind::ALL,
+        &[
+            DesignKind::SubBlock { mb: 256 },
+            DesignKind::Footprint { mb: 256 },
+        ],
+    );
+
     let mut table = Table::new(&[
         "workload",
         "Sub-blocked miss",

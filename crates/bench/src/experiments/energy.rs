@@ -10,22 +10,37 @@ use crate::Lab;
 
 const MB: u64 = 256;
 
+/// Figure 10's grid: the 256 MB contenders plus the baseline it
+/// normalizes against. Prefetch and measurement iterate this one list.
+fn fig10_designs() -> [(&'static str, DesignKind); 4] {
+    [
+        ("Baseline", DesignKind::Baseline),
+        ("Block", DesignKind::Block { mb: MB }),
+        ("Page", DesignKind::Page { mb: MB }),
+        ("Footprint", DesignKind::Footprint { mb: MB }),
+    ]
+}
+
+/// Figure 11's grid: stacked-DRAM energy has no baseline bar (the
+/// baseline has no stacked DRAM), so it needs only the contenders.
+fn fig11_designs() -> [(&'static str, DesignKind); 3] {
+    [
+        ("Block", DesignKind::Block { mb: MB }),
+        ("Page", DesignKind::Page { mb: MB }),
+        ("Footprint", DesignKind::Footprint { mb: MB }),
+    ]
+}
+
 /// Regenerates Figure 10 (off-chip DRAM energy, normalized to baseline).
 pub fn fig10(lab: &mut Lab) -> String {
-    let mut table = Table::new(&[
-        "workload", "design", "act/pre", "burst", "total",
-    ]);
+    lab.prefetch(&WorkloadKind::ALL, &fig10_designs().map(|(_, d)| d));
+
+    let mut table = Table::new(&["workload", "design", "act/pre", "burst", "total"]);
     let mut totals: [Vec<f64>; 4] = Default::default();
     for w in WorkloadKind::ALL {
         let base = lab.run(w, DesignKind::Baseline);
         let norm = base.offchip_energy_per_inst_nj().max(1e-12);
-        let designs = [
-            ("Baseline", DesignKind::Baseline),
-            ("Block", DesignKind::Block { mb: MB }),
-            ("Page", DesignKind::Page { mb: MB }),
-            ("Footprint", DesignKind::Footprint { mb: MB }),
-        ];
-        for (i, (name, d)) in designs.into_iter().enumerate() {
+        for (i, (name, d)) in fig10_designs().into_iter().enumerate() {
             let r = lab.run(w, d);
             let insts = r.insts.max(1) as f64;
             let act = r.offchip_energy.act_pre_nj / insts / norm;
@@ -40,7 +55,10 @@ pub fn fig10(lab: &mut Lab) -> String {
             ]);
         }
     }
-    for (i, name) in ["Baseline", "Block", "Page", "Footprint"].iter().enumerate() {
+    for (i, name) in ["Baseline", "Block", "Page", "Footprint"]
+        .iter()
+        .enumerate()
+    {
         table.row(vec![
             "geomean".into(),
             (*name).into(),
@@ -63,19 +81,14 @@ pub fn fig10(lab: &mut Lab) -> String {
 /// Regenerates Figure 11 (stacked DRAM energy, normalized to the
 /// block-based design).
 pub fn fig11(lab: &mut Lab) -> String {
-    let mut table = Table::new(&[
-        "workload", "design", "act/pre", "burst", "total",
-    ]);
+    lab.prefetch(&WorkloadKind::ALL, &fig11_designs().map(|(_, d)| d));
+
+    let mut table = Table::new(&["workload", "design", "act/pre", "burst", "total"]);
     let mut totals: [Vec<f64>; 3] = Default::default();
     for w in WorkloadKind::ALL {
         let block = lab.run(w, DesignKind::Block { mb: MB });
         let norm = block.stacked_energy_per_inst_nj().max(1e-12);
-        let designs = [
-            ("Block", DesignKind::Block { mb: MB }),
-            ("Page", DesignKind::Page { mb: MB }),
-            ("Footprint", DesignKind::Footprint { mb: MB }),
-        ];
-        for (i, (name, d)) in designs.into_iter().enumerate() {
+        for (i, (name, d)) in fig11_designs().into_iter().enumerate() {
             let r = lab.run(w, d);
             let insts = r.insts.max(1) as f64;
             let act = r.stacked_energy.act_pre_nj / insts / norm;

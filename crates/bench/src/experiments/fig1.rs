@@ -11,6 +11,15 @@ use crate::Lab;
 
 /// Regenerates Figure 1.
 pub fn fig1(lab: &mut Lab) -> String {
+    lab.prefetch(
+        &WorkloadKind::ALL,
+        &[
+            DesignKind::Baseline,
+            DesignKind::Ideal,
+            DesignKind::IdealLowLatency,
+        ],
+    );
+
     let mut table = Table::new(&["workload", "High-BW", "High-BW & Low-Latency"]);
     let mut hb = Vec::new();
     let mut hbll = Vec::new();

@@ -9,8 +9,15 @@ use fc_trace::WorkloadKind;
 use crate::experiments::{pct, Table, CAPACITIES_MB};
 use crate::Lab;
 
+/// The Figure 4 grid: the page-based cache at every capacity.
+fn designs() -> Vec<DesignKind> {
+    CAPACITIES_MB.map(|mb| DesignKind::Page { mb }).to_vec()
+}
+
 /// Regenerates Figure 4.
 pub fn fig4(lab: &mut Lab) -> String {
+    lab.prefetch(&WorkloadKind::ALL, &designs());
+
     let mut header = vec!["workload".to_string(), "MB".to_string()];
     header.extend(DensityHistogram::LABELS.iter().map(|s| s.to_string()));
     header.push("mean".into());

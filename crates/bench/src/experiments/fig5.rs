@@ -8,8 +8,23 @@ use fc_trace::WorkloadKind;
 use crate::experiments::{pct, Table, CAPACITIES_MB};
 use crate::Lab;
 
+/// The Figure 5 grid: baseline plus page/footprint/block per capacity.
+fn designs() -> Vec<DesignKind> {
+    let mut designs = vec![DesignKind::Baseline];
+    for mb in CAPACITIES_MB {
+        designs.extend([
+            DesignKind::Page { mb },
+            DesignKind::Footprint { mb },
+            DesignKind::Block { mb },
+        ]);
+    }
+    designs
+}
+
 /// Regenerates Figures 5a and 5b.
 pub fn fig5(lab: &mut Lab) -> String {
+    lab.prefetch(&WorkloadKind::ALL, &designs());
+
     let mut miss = Table::new(&["workload", "MB", "Page", "Footprint", "Block"]);
     let mut bw = Table::new(&[
         "workload",

@@ -9,7 +9,23 @@ use fc_types::geomean;
 use crate::experiments::{improvement, Table, CAPACITIES_MB};
 use crate::Lab;
 
+/// The Figures 6/7 grid: baseline and ideal bounds plus the three
+/// contenders per capacity.
+fn designs() -> Vec<DesignKind> {
+    let mut designs = vec![DesignKind::Baseline, DesignKind::Ideal];
+    for mb in CAPACITIES_MB {
+        designs.extend([
+            DesignKind::Block { mb },
+            DesignKind::Page { mb },
+            DesignKind::Footprint { mb },
+        ]);
+    }
+    designs
+}
+
 fn perf_rows(lab: &mut Lab, workloads: &[WorkloadKind]) -> Table {
+    lab.prefetch(workloads, &designs());
+
     let mut table = Table::new(&["workload", "MB", "Block", "Page", "Footprint", "Ideal"]);
     for &w in workloads {
         let base = lab.run(w, DesignKind::Baseline).throughput();

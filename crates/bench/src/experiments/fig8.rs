@@ -9,21 +9,28 @@ use footprint_cache::FootprintCacheConfig;
 use crate::experiments::{pct, Table};
 use crate::Lab;
 
-/// Regenerates Figure 8.
-pub fn fig8(lab: &mut Lab) -> String {
-    let mut table = Table::new(&[
-        "workload",
-        "page B",
-        "covered",
-        "underpred",
-        "overpred",
-    ]);
-    for w in WorkloadKind::ALL {
-        for page_size in [1024usize, 2048, 4096] {
-            let design = DesignKind::FootprintCustom {
+/// The Figure 8 grid: 256 MB footprint caches at each page size. Both
+/// the prefetch and the measurement loop iterate this one list, so the
+/// parallel grid and the reads can never drift apart.
+fn designs() -> [(usize, DesignKind); 3] {
+    [1024usize, 2048, 4096].map(|page_size| {
+        (
+            page_size,
+            DesignKind::FootprintCustom {
                 config: FootprintCacheConfig::new(256 << 20)
                     .with_geometry(PageGeometry::new(page_size)),
-            };
+            },
+        )
+    })
+}
+
+/// Regenerates Figure 8.
+pub fn fig8(lab: &mut Lab) -> String {
+    lab.prefetch(&WorkloadKind::ALL, &designs().map(|(_, d)| d));
+
+    let mut table = Table::new(&["workload", "page B", "covered", "underpred", "overpred"]);
+    for w in WorkloadKind::ALL {
+        for (page_size, design) in designs() {
             let report = lab.run(w, design);
             let p = report
                 .prediction

@@ -11,18 +11,25 @@ use crate::Lab;
 /// FHT sizes swept (entries).
 pub const FHT_SIZES: [usize; 4] = [1024, 4096, 16 * 1024, 64 * 1024];
 
+/// The Figure 9 grid: 256 MB footprint caches at each FHT size. The
+/// prefetch and the measurement loop both iterate this list.
+fn designs() -> [DesignKind; 4] {
+    FHT_SIZES.map(|entries| DesignKind::FootprintCustom {
+        config: FootprintCacheConfig::new(256 << 20).with_fht_entries(entries),
+    })
+}
+
 /// Regenerates Figure 9.
 pub fn fig9(lab: &mut Lab) -> String {
+    lab.prefetch(&WorkloadKind::ALL, &designs());
+
     let mut header = vec!["workload".to_string()];
     header.extend(FHT_SIZES.iter().map(|s| format!("{s} entries")));
     let mut table = Table::new(&header);
 
     for w in WorkloadKind::ALL {
         let mut row = vec![w.name().to_string()];
-        for entries in FHT_SIZES {
-            let design = DesignKind::FootprintCustom {
-                config: FootprintCacheConfig::new(256 << 20).with_fht_entries(entries),
-            };
+        for design in designs() {
             let report = lab.run(w, design);
             row.push(pct(report.cache.hit_ratio()));
         }

@@ -79,6 +79,16 @@ pub fn table4() -> String {
 /// over all six workloads.
 pub fn table1(lab: &mut Lab) -> String {
     let mb = 256u64;
+    lab.prefetch(
+        &WorkloadKind::ALL,
+        &[
+            DesignKind::Baseline,
+            DesignKind::Block { mb },
+            DesignKind::Page { mb },
+            DesignKind::Footprint { mb },
+        ],
+    );
+
     let mut rows: Vec<(&str, Vec<f64>)> = vec![
         ("hit ratio", Vec::new()),
         ("off-chip traffic vs baseline", Vec::new()),
@@ -119,12 +129,7 @@ pub fn table1(lab: &mut Lab) -> String {
                 pct(x)
             }
         };
-        table.row(vec![
-            name.into(),
-            fmt(vals[0]),
-            fmt(vals[1]),
-            fmt(vals[2]),
-        ]);
+        table.row(vec![name.into(), fmt(vals[0]), fmt(vals[1]), fmt(vals[2])]);
     }
 
     // SRAM structures come from the storage models (no simulation).

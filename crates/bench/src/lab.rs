@@ -1,124 +1,114 @@
-//! Memoized simulation runs shared across experiments.
+//! Memoized simulation runs shared across experiments — now a thin
+//! wrapper over the parallel [`fc_sweep`] engine.
+//!
+//! Experiments declare their grids up front ([`Lab::prefetch`] builds a
+//! [`SweepSpec`] and fans it out across worker threads), then read
+//! individual results with [`Lab::run`], which resolves from the
+//! engine's memoized [`ResultStore`](fc_sweep::ResultStore). Single
+//! `run` calls for points never prefetched still work — they simulate
+//! on the calling thread, exactly like the old sequential lab.
 
-use std::collections::BTreeMap;
-
-use fc_sim::{DesignKind, SimConfig, SimReport, Simulation};
+use fc_sim::{DesignKind, SimConfig, SimReport};
+use fc_sweep::{RunScale, SweepEngine, SweepPoint, SweepSpec};
 use fc_trace::WorkloadKind;
 
-/// How much simulated work each run performs.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct RunScale {
-    /// Warmup records per run for a 64 MB-class design (scaled up with
-    /// capacity; the paper uses half of each trace for warmup).
-    pub warmup_base: u64,
-    /// Extra warmup records per MB of cache capacity.
-    pub warmup_per_mb: u64,
-    /// Measured records base.
-    pub measured_base: u64,
-    /// Extra measured records per MB.
-    pub measured_per_mb: u64,
-}
-
-impl RunScale {
-    /// The scale used for the checked-in experiment outputs.
-    pub fn full() -> Self {
-        Self {
-            warmup_base: 1_500_000,
-            warmup_per_mb: 15_000,
-            measured_base: 1_000_000,
-            measured_per_mb: 6_000,
-        }
-    }
-
-    /// A fast scale for smoke tests (about 20x cheaper).
-    pub fn quick() -> Self {
-        Self {
-            warmup_base: 100_000,
-            warmup_per_mb: 600,
-            measured_base: 80_000,
-            measured_per_mb: 300,
-        }
-    }
-
-    fn warmup(&self, capacity_mb: u64) -> u64 {
-        self.warmup_base + self.warmup_per_mb * capacity_mb
-    }
-
-    fn measured(&self, capacity_mb: u64) -> u64 {
-        self.measured_base + self.measured_per_mb * capacity_mb
-    }
-}
-
-/// A memoizing runner: one `(workload, design)` pair is simulated at most
-/// once per lab.
+/// A memoizing runner: one `(workload, design)` pair is simulated at
+/// most once per lab, and prefetched grids run in parallel.
 pub struct Lab {
+    engine: SweepEngine,
     scale: RunScale,
     config: SimConfig,
-    results: BTreeMap<(WorkloadKind, String), SimReport>,
+    base_seed: u64,
     verbose: bool,
-    runs: u64,
 }
 
 impl Lab {
-    /// Creates a lab at the given scale.
+    /// Creates a lab at the given scale, using every available core
+    /// for prefetched grids.
     pub fn new(scale: RunScale) -> Self {
         Self {
+            engine: SweepEngine::new(),
             scale,
             config: SimConfig::default(),
-            results: BTreeMap::new(),
+            base_seed: SweepSpec::DEFAULT_SEED,
             verbose: true,
-            runs: 0,
         }
+    }
+
+    /// Changes the base seed used by both [`spec`](Lab::spec) and
+    /// [`run`](Lab::run), so prefetched grids and reads always agree.
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
     }
 
     /// Silences per-run progress lines.
     pub fn quiet(mut self) -> Self {
+        self.engine = self.engine.quiet();
         self.verbose = false;
+        self
+    }
+
+    /// Sets the worker-thread count for prefetched grids (1 restores
+    /// the old fully sequential behavior).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = self.engine.with_threads(threads);
         self
     }
 
     /// Number of distinct simulations executed.
     pub fn runs_executed(&self) -> u64 {
-        self.runs
+        self.engine.store().computed()
     }
 
-    /// Capacity in MB used for run sizing, derived from the design.
-    fn capacity_mb(design: &DesignKind) -> u64 {
-        match design {
-            DesignKind::Baseline => 64,
-            DesignKind::Block { mb }
-            | DesignKind::Page { mb }
-            | DesignKind::Footprint { mb }
-            | DesignKind::SubBlock { mb }
-            | DesignKind::HotPage { mb }
-            | DesignKind::PageDirtyBlockWb { mb } => *mb,
-            DesignKind::FootprintCustom { config } => config.capacity_bytes >> 20,
-            DesignKind::Ideal | DesignKind::IdealLowLatency => 64,
+    /// Requests served from the memoized store.
+    pub fn memo_hits(&self) -> u64 {
+        self.engine.store().memo_hits()
+    }
+
+    /// An empty [`SweepSpec`] carrying this lab's scale and pod config;
+    /// experiments extend it with their grids.
+    pub fn spec(&self) -> SweepSpec {
+        SweepSpec::new(self.scale)
+            .with_config(self.config)
+            .with_seed(self.base_seed)
+    }
+
+    /// The fully specified sweep point for `(workload, design)`.
+    fn point(&self, workload: WorkloadKind, design: DesignKind) -> SweepPoint {
+        SweepPoint {
+            workload,
+            design,
+            config: self.config,
+            scale: self.scale,
+            base_seed: self.base_seed,
         }
+    }
+
+    /// Runs the `workloads × designs` grid in parallel, warming the
+    /// memo store so subsequent [`run`](Lab::run) calls are lookups.
+    pub fn prefetch(&mut self, workloads: &[WorkloadKind], designs: &[DesignKind]) {
+        let spec = self.spec().grid(workloads, designs).dedup();
+        self.prefetch_spec(&spec);
+    }
+
+    /// Runs an explicit spec through the engine (parallel, memoized).
+    pub fn prefetch_spec(&mut self, spec: &SweepSpec) {
+        self.engine.run_spec(spec);
     }
 
     /// Runs (or reuses) the simulation of `design` on `workload`.
     pub fn run(&mut self, workload: WorkloadKind, design: DesignKind) -> SimReport {
-        let key = (workload, design.label());
-        if let Some(r) = self.results.get(&key) {
-            return r.clone();
-        }
-        let mb = Self::capacity_mb(&design);
-        let warmup = self.scale.warmup(mb);
-        let measured = self.scale.measured(mb);
-        if self.verbose {
+        let point = self.point(workload, design);
+        if self.verbose && self.engine.store().get(&point.key()).is_none() {
             eprintln!(
-                "[lab] {} / {} (warmup {warmup}, measured {measured})",
-                workload,
-                design.label()
+                "[lab] {} (warmup {}, measured {})",
+                point.label(),
+                point.warmup(),
+                point.measured()
             );
         }
-        let mut sim = Simulation::new(self.config, design);
-        let seed = 42 ^ (workload as u64) << 8;
-        let report = sim.run_workload(workload, seed, warmup, measured);
-        self.runs += 1;
-        self.results.insert(key, report.clone());
-        report
+        (*self.engine.run_point(&point)).clone()
     }
 }
 
@@ -126,15 +116,18 @@ impl Lab {
 mod tests {
     use super::*;
 
-    #[test]
-    fn runs_are_memoized() {
-        let mut lab = Lab::new(RunScale {
+    fn test_scale() -> RunScale {
+        RunScale {
             warmup_base: 500,
             warmup_per_mb: 0,
             measured_base: 500,
             measured_per_mb: 0,
-        })
-        .quiet();
+        }
+    }
+
+    #[test]
+    fn runs_are_memoized() {
+        let mut lab = Lab::new(test_scale()).quiet();
         let a = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
         let b = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
         assert_eq!(lab.runs_executed(), 1);
@@ -142,9 +135,43 @@ mod tests {
     }
 
     #[test]
-    fn scales_grow_with_capacity() {
-        let s = RunScale::full();
-        assert!(s.warmup(512) > s.warmup(64));
-        assert!(s.measured(512) > s.measured(64));
+    fn prefetch_makes_runs_lookups() {
+        let mut lab = Lab::new(test_scale()).quiet().with_threads(2);
+        let workloads = [WorkloadKind::WebSearch, WorkloadKind::MapReduce];
+        let designs = [DesignKind::Baseline, DesignKind::Footprint { mb: 64 }];
+        lab.prefetch(&workloads, &designs);
+        assert_eq!(lab.runs_executed(), 4);
+        for w in workloads {
+            for d in designs {
+                lab.run(w, d);
+            }
+        }
+        assert_eq!(lab.runs_executed(), 4, "reads resolved from the store");
+        assert!(lab.memo_hits() >= 4);
+    }
+
+    #[test]
+    fn custom_seed_flows_through_prefetch_and_run() {
+        let mut lab = Lab::new(test_scale()).quiet().with_seed(7);
+        lab.prefetch(&[WorkloadKind::WebSearch], &[DesignKind::Baseline]);
+        assert_eq!(lab.runs_executed(), 1);
+        lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        assert_eq!(lab.runs_executed(), 1, "run() must hit the seed-7 grid");
+
+        let mut default_seed = Lab::new(test_scale()).quiet();
+        let a = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        let b = default_seed.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        assert_ne!(a.cycles, b.cycles, "different seeds, different replay");
+    }
+
+    #[test]
+    fn prefetched_grid_matches_direct_runs() {
+        let mut parallel = Lab::new(test_scale()).quiet().with_threads(4);
+        parallel.prefetch(&[WorkloadKind::DataServing], &[DesignKind::Page { mb: 64 }]);
+        let from_grid = parallel.run(WorkloadKind::DataServing, DesignKind::Page { mb: 64 });
+
+        let mut sequential = Lab::new(test_scale()).quiet().with_threads(1);
+        let direct = sequential.run(WorkloadKind::DataServing, DesignKind::Page { mb: 64 });
+        assert_eq!(from_grid, direct);
     }
 }

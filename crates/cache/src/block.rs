@@ -278,7 +278,7 @@ mod tests {
         c.access(read(4096)); // region 1
         assert!(c.stats().evictions == 0);
         c.access(read(8192)); // region 2 displaces region 0
-        // Block 0 must be gone from the cache now.
+                              // Block 0 must be gone from the cache now.
         let plan = c.access(read(0));
         assert!(!plan.hit, "region eviction must purge block");
     }

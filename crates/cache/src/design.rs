@@ -50,8 +50,14 @@ pub struct DensityHistogram {
 
 impl DensityHistogram {
     /// Figure 4's bin labels.
-    pub const LABELS: [&'static str; 6] =
-        ["1 Block", "2-3 Blocks", "4-7 Blocks", "8-15 Blocks", "16-31 Blocks", "32 Blocks"];
+    pub const LABELS: [&'static str; 6] = [
+        "1 Block",
+        "2-3 Blocks",
+        "4-7 Blocks",
+        "8-15 Blocks",
+        "16-31 Blocks",
+        "32 Blocks",
+    ];
 
     /// Records a page evicted with `density` demanded blocks (densities
     /// over 32 land in the top bin; zero-density pages are ignored).

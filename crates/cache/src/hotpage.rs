@@ -181,8 +181,11 @@ impl DramCacheModel for HotPageCache {
         if let Some(info) = self.tags.get(set, tag) {
             info.dirty.insert(offset);
             plan.hit = true;
-            plan.background
-                .push(MemOp::write(MemTarget::Stacked, self.slot_addr(set, tag), 1));
+            plan.background.push(MemOp::write(
+                MemTarget::Stacked,
+                self.slot_addr(set, tag),
+                1,
+            ));
         } else {
             plan.background
                 .push(MemOp::write(MemTarget::OffChip, addr.block().base(), 1));

@@ -181,7 +181,9 @@ mod tests {
         mm.set_present(BlockAddr::new(0)); // region 0, offset 0
         mm.set_present(BlockAddr::new(3)); // region 0, offset 3
         mm.set_present(BlockAddr::new(64)); // region 1
-        let evicted = mm.set_present(BlockAddr::new(128)).expect("evicts region 0");
+        let evicted = mm
+            .set_present(BlockAddr::new(128))
+            .expect("evicts region 0");
         assert_eq!(evicted.base, BlockAddr::new(0));
         assert_eq!(evicted.present, Footprint::from_offsets([0, 3]));
         // Evicted blocks are gone.
@@ -196,7 +198,7 @@ mod tests {
         let large = MissMap::for_cache_capacity(512 << 20);
         assert_eq!(large.entries(), 288 * 1024);
         assert_eq!(large.latency_cycles(), 11); // Table 4
-        // Storage close to the paper's 1.95 / 2.92 MB.
+                                                // Storage close to the paper's 1.95 / 2.92 MB.
         let mb = small.storage_bytes() as f64 / (1 << 20) as f64;
         assert!((mb - 1.95).abs() < 0.2, "{mb}");
         let mb = large.storage_bytes() as f64 / (1 << 20) as f64;

@@ -115,13 +115,7 @@ impl PageBasedCache {
     }
 
     /// Emits eviction traffic for a victim page and records its density.
-    fn evict(
-        &mut self,
-        set: usize,
-        victim_tag: u64,
-        info: PageInfo,
-        background: &mut Vec<MemOp>,
-    ) {
+    fn evict(&mut self, set: usize, victim_tag: u64, info: PageInfo, background: &mut Vec<MemOp>) {
         self.stats.evictions += 1;
         self.stats.density.record(info.touched.len());
         if info.dirty.is_empty() {
@@ -197,8 +191,11 @@ impl DramCacheModel for PageBasedCache {
         if let Some(info) = self.tags.get(set, tag) {
             info.dirty.insert(offset);
             plan.hit = true;
-            plan.background
-                .push(MemOp::write(MemTarget::Stacked, self.slot_addr(set, tag), 1));
+            plan.background.push(MemOp::write(
+                MemTarget::Stacked,
+                self.slot_addr(set, tag),
+                1,
+            ));
         } else {
             plan.background
                 .push(MemOp::write(MemTarget::OffChip, addr.block().base(), 1));
@@ -267,7 +264,7 @@ mod tests {
         let first = 0u64;
         c.access(read(first));
         c.writeback(PhysAddr::new(first)); // dirty it
-        // Conflict-fill the same set.
+                                           // Conflict-fill the same set.
         for i in 1..=PAGE_WAYS as u64 {
             c.access(read(first + i * sets * page_bytes));
         }
@@ -292,7 +289,10 @@ mod tests {
         assert_eq!(c.stats().dirty_evictions, 1);
         // Exactly one dirty block written back.
         let wb = c.stats().offchip_write_blocks;
-        assert_eq!(wb, 1, "dirty-block granularity must write 1 block, got {wb}");
+        assert_eq!(
+            wb, 1,
+            "dirty-block granularity must write 1 block, got {wb}"
+        );
     }
 
     #[test]

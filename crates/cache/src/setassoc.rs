@@ -133,10 +133,7 @@ impl<V> SetAssoc<V> {
         }
 
         // Empty way.
-        if let Some(slot) = self.entries[range.clone()]
-            .iter_mut()
-            .find(|e| e.is_none())
-        {
+        if let Some(slot) = self.entries[range.clone()].iter_mut().find(|e| e.is_none()) {
             *slot = Some(Entry {
                 tag,
                 lru: stamp,

@@ -137,7 +137,10 @@ mod tests {
     fn miss_then_hit() {
         let mut c = tiny();
         let b = BlockAddr::new(4);
-        assert!(matches!(c.access(b, false), SramOutcome::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(b, false),
+            SramOutcome::Miss { writeback: None }
+        ));
         assert!(c.access(b, false).is_hit());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().accesses, 2);

@@ -114,8 +114,11 @@ impl DramCacheModel for SubBlockCache {
             plan.critical
                 .push(MemOp::read(MemTarget::OffChip, req.addr.block().base(), 1));
             self.stats.fill_blocks += 1;
-            plan.background
-                .push(MemOp::write(MemTarget::Stacked, self.slot_addr(set, tag), 1));
+            plan.background.push(MemOp::write(
+                MemTarget::Stacked,
+                self.slot_addr(set, tag),
+                1,
+            ));
             self.stats.absorb_plan(&plan);
             return plan;
         }
@@ -132,8 +135,11 @@ impl DramCacheModel for SubBlockCache {
             plan.background.append(&mut bg);
         }
         self.stats.fill_blocks += 1;
-        plan.background
-            .push(MemOp::write(MemTarget::Stacked, self.slot_addr(set, tag), 1));
+        plan.background.push(MemOp::write(
+            MemTarget::Stacked,
+            self.slot_addr(set, tag),
+            1,
+        ));
         self.stats.absorb_plan(&plan);
         plan
     }
@@ -147,8 +153,11 @@ impl DramCacheModel for SubBlockCache {
             Some(states) if states.state(offset).is_present() => {
                 states.demand_write(offset);
                 plan.hit = true;
-                plan.background
-                    .push(MemOp::write(MemTarget::Stacked, self.slot_addr(set, tag), 1));
+                plan.background.push(MemOp::write(
+                    MemTarget::Stacked,
+                    self.slot_addr(set, tag),
+                    1,
+                ));
             }
             _ => {
                 plan.background

@@ -266,8 +266,11 @@ impl DramCacheModel for FootprintCache {
             plan.critical
                 .push(MemOp::read(MemTarget::OffChip, req.addr.block().base(), 1));
             self.stats.fill_blocks += 1;
-            plan.background
-                .push(MemOp::write(MemTarget::Stacked, self.slot_addr(set, tag), 1));
+            plan.background.push(MemOp::write(
+                MemTarget::Stacked,
+                self.slot_addr(set, tag),
+                1,
+            ));
             self.stats.absorb_plan(&plan);
             return plan;
         }
@@ -326,8 +329,11 @@ impl DramCacheModel for FootprintCache {
             Some(entry) if entry.states.state(offset).is_present() => {
                 entry.states.demand_write(offset);
                 plan.hit = true;
-                plan.background
-                    .push(MemOp::write(MemTarget::Stacked, self.slot_addr(set, tag), 1));
+                plan.background.push(MemOp::write(
+                    MemTarget::Stacked,
+                    self.slot_addr(set, tag),
+                    1,
+                ));
             }
             _ => {
                 // Not resident: write through to memory; evictions from

@@ -144,8 +144,7 @@ impl Channel {
         let b = &mut self.banks[bank];
         let t0 = at.max(b.ready_at);
 
-        let row_hit =
-            matches!(self.policy, RowPolicy::Open) && b.open_row == Some(row);
+        let row_hit = matches!(self.policy, RowPolicy::Open) && b.open_row == Some(row);
 
         let cas_at = if row_hit {
             self.stats.row_hits += 1;

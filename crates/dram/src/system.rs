@@ -81,13 +81,7 @@ impl DramSystem {
     /// this holds by construction for row-interleaved mappings when the
     /// caller transfers at most one page (= one row), and for single-block
     /// transfers always.
-    pub fn access(
-        &mut self,
-        addr: PhysAddr,
-        kind: AccessKind,
-        blocks: u32,
-        at: u64,
-    ) -> Completion {
+    pub fn access(&mut self, addr: PhysAddr, kind: AccessKind, blocks: u32, at: u64) -> Completion {
         let loc = self.config.mapping.map(addr);
         self.channels[loc.channel].access(loc.bank, loc.row, kind, blocks, at)
     }

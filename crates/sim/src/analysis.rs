@@ -74,7 +74,7 @@ pub fn page_density<I: IntoIterator<Item = TraceRecord>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fc_types::{AccessKind, PhysAddr, Pc};
+    use fc_types::{AccessKind, Pc, PhysAddr};
 
     fn rec(addr: u64) -> TraceRecord {
         TraceRecord {
@@ -101,7 +101,9 @@ mod tests {
 
     #[test]
     fn coverage_is_monotone() {
-        let records: Vec<_> = (0..1000u64).map(|i| rec((i % 37) * 4096 * (i % 5 + 1))).collect();
+        let records: Vec<_> = (0..1000u64)
+            .map(|i| rec((i % 37) * 4096 * (i % 5 + 1)))
+            .collect();
         let curve = coverage_curve(records, 4096, &[0.2, 0.4, 0.6, 0.8]);
         for w in curve.windows(2) {
             assert!(w[1].1 >= w[0].1, "coverage curve must be monotone");

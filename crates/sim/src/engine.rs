@@ -174,7 +174,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fc_types::{PhysAddr, Pc};
+    use fc_types::{Pc, PhysAddr};
 
     fn record(core: u8, addr: u64, gap: u32) -> TraceRecord {
         TraceRecord {

@@ -48,10 +48,7 @@ impl MemorySystem {
 
     /// Stacked DRAM counters (zeros for the baseline).
     pub fn stacked_stats(&self) -> DramStats {
-        self.stacked
-            .as_ref()
-            .map(|s| s.stats())
-            .unwrap_or_default()
+        self.stacked.as_ref().map(|s| s.stats()).unwrap_or_default()
     }
 
     /// Stacked DRAM dynamic energy (zeros for the baseline).
@@ -104,7 +101,9 @@ impl MemorySystem {
         };
         // First chunk: up to the end of the addressed row.
         let offset_blocks = ((op.addr.raw() % 2048) / 64) as u32;
-        let first_chunk = op.blocks.min(ROW_BLOCKS - offset_blocks.min(ROW_BLOCKS - 1));
+        let first_chunk = op
+            .blocks
+            .min(ROW_BLOCKS - offset_blocks.min(ROW_BLOCKS - 1));
         let completion = match op.flavor {
             OpFlavor::CompoundTags => sys.access_compound(op.addr, op.kind, first_chunk, at),
             OpFlavor::Simple => sys.access(op.addr, op.kind, first_chunk, at),

@@ -70,7 +70,7 @@ impl EnergyReport {
 }
 
 /// Everything one simulation run measures.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Instructions committed in the interval (all cores).
     pub insts: u64,

@@ -92,6 +92,23 @@ impl DesignKind {
         }
     }
 
+    /// Stacked-DRAM capacity in MB used for run sizing. Capacity-less
+    /// designs (baseline, ideal) report the smallest evaluated capacity
+    /// so sweeps give them comparable run lengths.
+    pub fn capacity_mb(&self) -> u64 {
+        match self {
+            DesignKind::Baseline => 64,
+            DesignKind::Block { mb }
+            | DesignKind::Page { mb }
+            | DesignKind::Footprint { mb }
+            | DesignKind::SubBlock { mb }
+            | DesignKind::HotPage { mb }
+            | DesignKind::PageDirtyBlockWb { mb } => *mb,
+            DesignKind::FootprintCustom { config } => config.capacity_bytes >> 20,
+            DesignKind::Ideal | DesignKind::IdealLowLatency => 64,
+        }
+    }
+
     /// Instantiates the design's cache model and DRAM configurations.
     pub fn build(&self) -> MemorySystem {
         let geom = PageGeometry::default();
@@ -149,9 +166,10 @@ impl DesignKind {
             ),
             DesignKind::IdealLowLatency => MemorySystem::new(
                 Box::new(IdealCache::new()),
-                Some(DramConfig::stacked_ddr3_3200().with_timings(
-                    DramTimings::ddr3_3200_stacked().halved_latency(),
-                )),
+                Some(
+                    DramConfig::stacked_ddr3_3200()
+                        .with_timings(DramTimings::ddr3_3200_stacked().halved_latency()),
+                ),
                 DramConfig::off_chip_open_row(),
             ),
         }

@@ -1,0 +1,283 @@
+//! `fc_sweep` — run experiment grids from the command line, in parallel.
+//!
+//! ```sh
+//! fc_sweep --grid fig4                      # Figure 4 grid, quick scale, all cores
+//! fc_sweep --grid designspace --threads 8   # every design x capacity x workload
+//! fc_sweep --grid fig4 --speedup            # parallel run + sequential rerun, verified identical
+//! fc_sweep --designs page,footprint --capacities 64,256 --workloads "web search" \
+//!          --csv out.csv --json out.json
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+use fc_sweep::{emit, DesignKind, RunScale, SweepEngine, SweepResult, SweepSpec, WorkloadKind};
+
+const USAGE: &str = "\
+usage: fc_sweep [options]
+  --grid NAME        preset grid: fig4 | fig5 | fig67 | designspace (default fig4)
+  --designs LIST     comma list: baseline,block,page,footprint,subblock,hotpage,
+                     pagedirty,ideal,ideallow (overrides the preset's designs)
+  --capacities LIST  comma list of MB values (default 64,128,256,512)
+  --workloads LIST   comma list of workload names (default: all six)
+  --scale NAME       quick | full | tiny (default quick)
+  --threads N        worker threads (default: all cores)
+  --seed N           base seed (default 42)
+  --speedup          rerun the grid sequentially, report speedup, verify
+                     the parallel and sequential results are identical
+  --json PATH        write results as JSON
+  --csv PATH         write results as CSV
+  --list             print the grid points and exit
+  --quiet            suppress per-point progress lines
+  --help             this text";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fc_sweep: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_workloads(list: &str) -> Vec<WorkloadKind> {
+    list.split(',')
+        .map(|name| {
+            let name = name.trim();
+            WorkloadKind::ALL
+                .into_iter()
+                .find(|w| w.name().eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown workload `{name}`; pick from: {}",
+                        WorkloadKind::ALL.map(|w| w.name()).join(", ")
+                    ))
+                })
+        })
+        .collect()
+}
+
+/// Expands design family names against the capacity list.
+fn parse_designs(list: &str, capacities: &[u64]) -> Vec<DesignKind> {
+    let mut designs = Vec::new();
+    for name in list.split(',') {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "baseline" => designs.push(DesignKind::Baseline),
+            "ideal" => designs.push(DesignKind::Ideal),
+            "ideallow" => designs.push(DesignKind::IdealLowLatency),
+            "block" => designs.extend(capacities.iter().map(|&mb| DesignKind::Block { mb })),
+            "page" => designs.extend(capacities.iter().map(|&mb| DesignKind::Page { mb })),
+            "footprint" => {
+                designs.extend(capacities.iter().map(|&mb| DesignKind::Footprint { mb }))
+            }
+            "subblock" => designs.extend(capacities.iter().map(|&mb| DesignKind::SubBlock { mb })),
+            "hotpage" => designs.extend(capacities.iter().map(|&mb| DesignKind::HotPage { mb })),
+            "pagedirty" => designs.extend(
+                capacities
+                    .iter()
+                    .map(|&mb| DesignKind::PageDirtyBlockWb { mb }),
+            ),
+            other => fail(&format!("unknown design `{other}`")),
+        }
+    }
+    designs
+}
+
+fn preset_designs(grid: &str, capacities: &[u64]) -> Vec<DesignKind> {
+    match grid {
+        // Figure 4 measures page access density on the page-based cache
+        // across capacities.
+        "fig4" => parse_designs("page", capacities),
+        // Figure 5: miss ratio + off-chip traffic for page, footprint,
+        // block, against the baseline.
+        "fig5" => parse_designs("baseline,page,footprint,block", capacities),
+        // Figures 6/7: performance improvement incl. the ideal bound.
+        "fig67" => parse_designs("baseline,ideal,block,page,footprint", capacities),
+        "designspace" => parse_designs(
+            "baseline,block,page,footprint,subblock,hotpage,pagedirty,ideal,ideallow",
+            capacities,
+        ),
+        other => fail(&format!("unknown grid `{other}`")),
+    }
+}
+
+fn write_file(path: &str, contents: &str) {
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+    f.write_all(contents.as_bytes())
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    eprintln!("[fc_sweep] wrote {path}");
+}
+
+fn print_summary(results: &[SweepResult]) {
+    println!(
+        "{:<16} {:<28} {:>8} {:>10} {:>12} {:>12}",
+        "workload", "design", "miss %", "IPC/pod", "offchip B/i", "stacked B/i"
+    );
+    for r in results {
+        let stacked_bpi = if r.report.insts > 0 {
+            r.report.stacked.bytes() as f64 / r.report.insts as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<16} {:<28} {:>7.1}% {:>10.2} {:>12.3} {:>12.3}",
+            r.point.workload.to_string(),
+            r.point.design.label(),
+            r.report.cache.miss_ratio() * 100.0,
+            r.report.throughput(),
+            r.report.offchip_bytes_per_inst(),
+            stacked_bpi,
+        );
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut grid = "fig4".to_string();
+    let mut designs_arg: Option<String> = None;
+    let mut capacities: Vec<u64> = vec![64, 128, 256, 512];
+    let mut workloads: Vec<WorkloadKind> = WorkloadKind::ALL.to_vec();
+    let mut scale = RunScale::quick();
+    let mut threads: Option<usize> = None;
+    let mut seed: u64 = SweepSpec::DEFAULT_SEED;
+    let mut speedup = false;
+    let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut list_only = false;
+    let mut quiet = false;
+
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+    };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--grid" => grid = value(&mut args, "--grid"),
+            "--designs" => designs_arg = Some(value(&mut args, "--designs")),
+            "--capacities" => {
+                capacities = value(&mut args, "--capacities")
+                    .split(',')
+                    .map(|s| {
+                        let mb: u64 = s
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("bad capacity `{s}`")));
+                        if mb == 0 {
+                            fail("capacities must be at least 1 MB");
+                        }
+                        mb
+                    })
+                    .collect();
+            }
+            "--workloads" => workloads = parse_workloads(&value(&mut args, "--workloads")),
+            "--scale" => {
+                scale = match value(&mut args, "--scale").as_str() {
+                    "quick" => RunScale::quick(),
+                    "full" => RunScale::full(),
+                    "tiny" => RunScale::tiny(),
+                    other => fail(&format!("unknown scale `{other}`")),
+                }
+            }
+            "--threads" => {
+                threads = Some(
+                    value(&mut args, "--threads")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --threads value")),
+                )
+            }
+            "--seed" => {
+                seed = value(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed value"))
+            }
+            "--speedup" => speedup = true,
+            "--json" => json_path = Some(value(&mut args, "--json")),
+            "--csv" => csv_path = Some(value(&mut args, "--csv")),
+            "--list" => list_only = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let designs = match &designs_arg {
+        Some(list) => {
+            grid = format!("custom({list})");
+            parse_designs(list, &capacities)
+        }
+        None => preset_designs(&grid, &capacities),
+    };
+    let spec = SweepSpec::new(scale)
+        .with_seed(seed)
+        .grid(&workloads, &designs)
+        .dedup();
+
+    if list_only {
+        for p in spec.points() {
+            println!(
+                "{}  (warmup {}, measured {})",
+                p.label(),
+                p.warmup(),
+                p.measured()
+            );
+        }
+        eprintln!("[fc_sweep] {} points", spec.len());
+        return;
+    }
+
+    let mut engine = SweepEngine::new();
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+    if quiet {
+        engine = engine.quiet();
+    }
+    let workers = engine.threads();
+
+    eprintln!(
+        "[fc_sweep] grid {}: {} points on {} thread(s)",
+        grid,
+        spec.len(),
+        workers
+    );
+    let started = Instant::now();
+    let results = engine.run_spec(&spec);
+    let parallel_secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[fc_sweep] {} simulations in {parallel_secs:.2}s ({} memo hits)",
+        engine.store().computed(),
+        engine.store().memo_hits()
+    );
+
+    print_summary(&results);
+
+    if speedup {
+        // Fresh engine, fresh store: a true sequential baseline.
+        let seq_engine = SweepEngine::new().with_threads(1).quiet();
+        let started = Instant::now();
+        let seq_results = seq_engine.run_spec(&spec);
+        let seq_secs = started.elapsed().as_secs_f64();
+        let identical = results
+            .iter()
+            .zip(&seq_results)
+            .all(|(a, b)| *a.report == *b.report);
+        println!();
+        println!(
+            "speedup: sequential {seq_secs:.2}s / parallel {parallel_secs:.2}s = {:.2}x on {} threads; results identical: {}",
+            seq_secs / parallel_secs.max(1e-9),
+            workers,
+            if identical { "yes" } else { "NO (BUG)" }
+        );
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = &json_path {
+        write_file(path, &emit::to_json(&results));
+    }
+    if let Some(path) = &csv_path {
+        write_file(path, &emit::to_csv(&results));
+    }
+}

@@ -1,0 +1,187 @@
+//! Result emitters: JSON and CSV.
+//!
+//! Hand-rolled (the container has no serialization crates), emitting
+//! the metrics every experiment in the harness derives its tables from.
+//! One record per sweep point, in submission order.
+
+use crate::executor::SweepResult;
+
+/// Escapes a string for a JSON value position.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 as a JSON-safe number literal.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders results as a JSON array (one object per point).
+pub fn to_json(results: &[SweepResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let p = &r.point;
+        let rep = &r.report;
+        let prediction = match &rep.prediction {
+            Some(pred) => format!(
+                "{{\"covered\": {}, \"overpredicted\": {}, \"underpredicted\": {}, \
+                 \"singleton_bypasses\": {}, \"singleton_promotions\": {}}}",
+                pred.covered,
+                pred.overpredicted,
+                pred.underpredicted,
+                pred.singleton_bypasses,
+                pred.singleton_promotions
+            ),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"workload\": \"{workload}\", \"design\": \"{design}\", \
+             \"capacity_mb\": {mb}, \"seed\": {seed}, \
+             \"warmup_records\": {warmup}, \"measured_records\": {measured}, \
+             \"key\": \"{key:016x}\", \
+             \"insts\": {insts}, \"cycles\": {cycles}, \
+             \"throughput\": {tput}, \
+             \"miss_ratio\": {miss}, \"hit_ratio\": {hit}, \
+             \"offchip_bytes_per_inst\": {obpi}, \
+             \"stacked_bytes_per_inst\": {sbpi}, \
+             \"offchip_energy_nj\": {oe}, \"stacked_energy_nj\": {se}, \
+             \"stacked_row_hit_ratio\": {rh}, \
+             \"prediction\": {prediction}}}{comma}\n",
+            workload = json_escape(&p.workload.to_string()),
+            design = json_escape(&p.design.label()),
+            mb = p.capacity_mb(),
+            seed = p.seed(),
+            warmup = p.warmup(),
+            measured = p.measured(),
+            key = p.key().hash64(),
+            insts = rep.insts,
+            cycles = rep.cycles,
+            tput = json_num(rep.throughput()),
+            miss = json_num(rep.cache.miss_ratio()),
+            hit = json_num(rep.cache.hit_ratio()),
+            obpi = json_num(rep.offchip_bytes_per_inst()),
+            sbpi = json_num(stacked_bytes_per_inst(rep)),
+            oe = json_num(rep.offchip_energy.total_nj()),
+            se = json_num(rep.stacked_energy.total_nj()),
+            rh = json_num(rep.stacked.row_hit_ratio()),
+            comma = if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a CSV field (quotes fields containing separators/quotes).
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders results as CSV with a header row.
+pub fn to_csv(results: &[SweepResult]) -> String {
+    let mut out = String::from(
+        "workload,design,capacity_mb,seed,warmup_records,measured_records,\
+         insts,cycles,throughput,miss_ratio,hit_ratio,\
+         offchip_bytes_per_inst,stacked_bytes_per_inst,\
+         offchip_energy_nj,stacked_energy_nj,stacked_row_hit_ratio\n",
+    );
+    for r in results {
+        let p = &r.point;
+        let rep = &r.report;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.6}\n",
+            csv_escape(&p.workload.to_string()),
+            csv_escape(&p.design.label()),
+            p.capacity_mb(),
+            p.seed(),
+            p.warmup(),
+            p.measured(),
+            rep.insts,
+            rep.cycles,
+            rep.throughput(),
+            rep.cache.miss_ratio(),
+            rep.cache.hit_ratio(),
+            rep.offchip_bytes_per_inst(),
+            stacked_bytes_per_inst(rep),
+            rep.offchip_energy.total_nj(),
+            rep.stacked_energy.total_nj(),
+            rep.stacked.row_hit_ratio(),
+        ));
+    }
+    out
+}
+
+fn stacked_bytes_per_inst(rep: &fc_sim::SimReport) -> f64 {
+    if rep.insts == 0 {
+        0.0
+    } else {
+        rep.stacked.bytes() as f64 / rep.insts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignKind, RunScale, SweepEngine, SweepSpec, WorkloadKind};
+
+    fn sample_results() -> Vec<SweepResult> {
+        let spec = SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch],
+            &[DesignKind::Baseline, DesignKind::Footprint { mb: 64 }],
+        );
+        SweepEngine::new().with_threads(1).quiet().run_spec(&spec)
+    }
+
+    #[test]
+    fn json_has_one_object_per_point() {
+        let results = sample_results();
+        let json = to_json(&results);
+        assert_eq!(json.matches("\"workload\"").count(), 2);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"design\": \"Footprint 64MB\""));
+        // The footprint design reports prediction counters.
+        assert!(json.contains("\"covered\""));
+    }
+
+    #[test]
+    fn csv_rows_match_points() {
+        let results = sample_results();
+        let csv = to_csv(&results);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rows
+        assert!(lines[0].starts_with("workload,design,"));
+        assert!(lines[1].contains("Baseline"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

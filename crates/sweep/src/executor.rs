@@ -1,0 +1,251 @@
+//! The parallel sweep executor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use fc_sim::{SimReport, Simulation};
+
+use crate::progress::Progress;
+use crate::spec::{SweepPoint, SweepSpec};
+use crate::store::ResultStore;
+use crate::trace_cache::TraceCache;
+
+/// One finished sweep point.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The point that was run.
+    pub point: SweepPoint,
+    /// Its (possibly memoized) report.
+    pub report: Arc<SimReport>,
+}
+
+/// The self-balancing parallel executor (a shared work queue, not
+/// per-worker deques: nothing is ever stolen, the cursor hands each
+/// idle worker the next unclaimed point).
+///
+/// A thread that draws a short run immediately claims the next
+/// unclaimed point, so
+/// heterogeneous grids (64 MB next to 512 MB runs) stay load-balanced
+/// without any up-front partitioning.
+///
+/// **Determinism:** each point is simulated by a fresh
+/// [`Simulation`] seeded purely from the point
+/// ([`SweepPoint::seed`]), so the report for a point is bit-identical
+/// whatever the thread count or claim order; only scheduling varies.
+/// Results are additionally memoized in a [`ResultStore`] keyed by the
+/// point's stable configuration hash, so resubmitting a point — within
+/// one spec or across specs — never re-simulates it.
+pub struct SweepEngine {
+    store: Arc<ResultStore>,
+    traces: Arc<TraceCache>,
+    threads: usize,
+    verbose: bool,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// An engine using every available core, a fresh result store and
+    /// the default trace-cache budget.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            store: Arc::new(ResultStore::new()),
+            traces: Arc::new(TraceCache::default()),
+            threads,
+            verbose: true,
+        }
+    }
+
+    /// Sets the worker-thread count (1 = fully sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Caps the per-workload trace cache at `budget_records` records.
+    pub fn with_trace_budget(mut self, budget_records: usize) -> Self {
+        self.traces = Arc::new(TraceCache::new(budget_records));
+        self
+    }
+
+    /// Silences per-point progress lines.
+    pub fn quiet(mut self) -> Self {
+        self.verbose = false;
+        self
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The memoized result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// The shared trace cache.
+    pub fn trace_cache(&self) -> &TraceCache {
+        &self.traces
+    }
+
+    /// Runs every point of `spec` (in parallel when the engine has >1
+    /// thread), returning results in spec order.
+    pub fn run_spec(&self, spec: &SweepSpec) -> Vec<SweepResult> {
+        let points = spec.points();
+        let progress = Progress::new(points.len(), self.verbose);
+        let slots: Vec<OnceLock<Arc<SimReport>>> = points.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+
+        let workers = self.threads.min(points.len()).max(1);
+        if workers == 1 {
+            for (point, slot) in points.iter().zip(&slots) {
+                let report = self.run_point_tracked(point, &progress);
+                slot.set(report).expect("slot written once");
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(index) else {
+                            break;
+                        };
+                        let report = self.run_point_tracked(point, &progress);
+                        slots[index].set(report).expect("slot written once");
+                    });
+                }
+            });
+        }
+
+        points
+            .iter()
+            .zip(slots)
+            .map(|(point, slot)| SweepResult {
+                point: *point,
+                report: slot.into_inner().expect("every point ran"),
+            })
+            .collect()
+    }
+
+    /// Runs (or recalls) a single point.
+    pub fn run_point(&self, point: &SweepPoint) -> Arc<SimReport> {
+        self.store
+            .get_or_compute(&point.key(), || self.simulate(point))
+    }
+
+    fn run_point_tracked(&self, point: &SweepPoint, progress: &Progress) -> Arc<SimReport> {
+        let key = point.key();
+        let memoized = self.store.get(&key).is_some();
+        let report = self.store.get_or_compute(&key, || self.simulate(point));
+        progress.finish_point(&point.label(), memoized);
+        report
+    }
+
+    /// Simulates one point from scratch. Replays the shared cached
+    /// trace when the run fits the trace-cache budget; otherwise
+    /// streams records from a fresh generator. Both paths replay the
+    /// identical record sequence.
+    fn simulate(&self, point: &SweepPoint) -> SimReport {
+        let warmup = point.warmup();
+        let measured = point.measured();
+        let mut sim = Simulation::new(point.config, point.design);
+        match self.traces.records(
+            point.workload,
+            point.config.cores,
+            point.seed(),
+            warmup + measured,
+        ) {
+            Some(records) => {
+                let (warm, meas) =
+                    records[..(warmup + measured) as usize].split_at(warmup as usize);
+                for r in warm {
+                    sim.step(r);
+                }
+                sim.drain();
+                let snapshot = sim.snapshot();
+                sim.run_records(meas.iter().cloned(), &snapshot)
+            }
+            None => sim.run_workload(point.workload, point.seed(), warmup, measured),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::RunScale;
+    use fc_sim::DesignKind;
+    use fc_trace::WorkloadKind;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch, WorkloadKind::DataServing],
+            &[DesignKind::Baseline, DesignKind::Footprint { mb: 64 }],
+        )
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let spec = tiny_spec();
+        let seq = SweepEngine::new().with_threads(1).quiet().run_spec(&spec);
+        let par = SweepEngine::new().with_threads(4).quiet().run_spec(&spec);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(*a.report, *b.report, "{} diverged", a.point.label());
+        }
+    }
+
+    #[test]
+    fn resubmission_is_memoized() {
+        let spec = tiny_spec();
+        let engine = SweepEngine::new().with_threads(2).quiet();
+        let first = engine.run_spec(&spec);
+        let computed = engine.store().computed();
+        assert_eq!(computed, spec.len() as u64);
+        let second = engine.run_spec(&spec);
+        assert_eq!(engine.store().computed(), computed, "no new simulations");
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(&a.report, &b.report), "cached Arc reused");
+        }
+    }
+
+    #[test]
+    fn cached_trace_path_equals_streaming_path() {
+        let spec = SweepSpec::new(RunScale::tiny())
+            .point(WorkloadKind::MapReduce, DesignKind::Page { mb: 64 });
+        // Budget of zero forces the streaming fallback.
+        let streamed = SweepEngine::new()
+            .with_threads(1)
+            .with_trace_budget(0)
+            .quiet()
+            .run_spec(&spec);
+        let cached = SweepEngine::new().with_threads(1).quiet().run_spec(&spec);
+        assert_eq!(*streamed[0].report, *cached[0].report);
+    }
+
+    #[test]
+    fn trace_synthesis_is_shared_across_designs() {
+        let spec = SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch],
+            &[
+                DesignKind::Baseline,
+                DesignKind::Page { mb: 64 },
+                DesignKind::Footprint { mb: 64 },
+            ],
+        );
+        let engine = SweepEngine::new().with_threads(1).quiet();
+        engine.run_spec(&spec);
+        let per_run = RunScale::tiny().warmup(64) + RunScale::tiny().measured(64);
+        // One synthesis for three designs, not three.
+        assert_eq!(engine.trace_cache().records_synthesized(), per_run);
+    }
+}

@@ -1,0 +1,68 @@
+//! `fc-sweep` — a declarative, parallel experiment-orchestration engine.
+//!
+//! The paper's evaluation (Figures 1, 4–9, 12, the ablations and the
+//! energy tables) is one large grid of *independent* (design × workload
+//! × scale) simulations. This crate turns that observation into the
+//! reproduction's scaling substrate:
+//!
+//! * [`SweepSpec`] — a declarative description of a grid of sweep
+//!   points: cross products of [`DesignKind`]s and [`WorkloadKind`]s at
+//!   a [`RunScale`], with per-point [`SimConfig`] overrides.
+//! * [`SweepEngine`] — a self-balancing parallel executor: worker
+//!   threads claim points from a shared cursor and run each as an independent
+//!   [`Simulation`](fc_sim::Simulation). Every point's seed is a pure
+//!   function of the point itself, so results are **bit-identical
+//!   regardless of thread count or completion order**.
+//! * [`ResultStore`] — a sharded, concurrent, memoized result store
+//!   keyed by a stable hash of the full point configuration; a point is
+//!   simulated at most once per engine, and repeated submissions return
+//!   the cached [`SimReport`](fc_sim::SimReport).
+//! * [`TraceCache`] — synthesized traces are shared per (workload,
+//!   cores, seed): every design replaying the same workload replays the
+//!   *same* record stream without re-synthesizing it.
+//! * [`emit`] — JSON and CSV emitters for result sets, plus the
+//!   `fc_sweep` CLI binary that runs grids from the command line.
+//!
+//! `fc-bench`'s `Lab` and every `experiments::fig*` module build their
+//! grids as `SweepSpec`s and submit them here; future scaling work
+//! (sharding, multi-backend dispatch, trace services) plugs into the
+//! same interfaces.
+//!
+//! # Examples
+//!
+//! ```
+//! use fc_sim::DesignKind;
+//! use fc_sweep::{RunScale, SweepEngine, SweepSpec};
+//! use fc_trace::WorkloadKind;
+//!
+//! let spec = SweepSpec::new(RunScale::tiny()).grid(
+//!     &[WorkloadKind::WebSearch],
+//!     &[DesignKind::Baseline, DesignKind::Footprint { mb: 64 }],
+//! );
+//! let engine = SweepEngine::new().with_threads(2).quiet();
+//! let results = engine.run_spec(&spec);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.report.insts > 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+mod executor;
+mod progress;
+mod scale;
+mod spec;
+mod store;
+mod trace_cache;
+
+pub use executor::{SweepEngine, SweepResult};
+pub use progress::Progress;
+pub use scale::RunScale;
+pub use spec::{SweepPoint, SweepSpec};
+pub use store::{PointKey, ResultStore};
+pub use trace_cache::TraceCache;
+
+// Re-exported so sweep callers can describe grids without extra deps.
+pub use fc_sim::{DesignKind, SimConfig};
+pub use fc_trace::WorkloadKind;

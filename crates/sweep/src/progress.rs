@@ -1,0 +1,76 @@
+//! Sweep progress reporting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Thread-safe progress counter for one sweep: workers report
+/// completions, and (when verbose) a line per finished point shows
+/// position, wall clock and a simple remaining-time estimate.
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+    verbose: bool,
+}
+
+impl Progress {
+    /// A tracker for `total` points.
+    pub fn new(total: usize, verbose: bool) -> Self {
+        Self {
+            total,
+            done: AtomicUsize::new(0),
+            started: Instant::now(),
+            verbose,
+        }
+    }
+
+    /// Records one finished point (labelled for the log line).
+    pub fn finish_point(&self, label: &str, memoized: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.verbose {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = if done > 0 && done < self.total {
+            let remaining = elapsed / done as f64 * (self.total - done) as f64;
+            format!(", ~{remaining:.0}s left")
+        } else {
+            String::new()
+        };
+        let memo = if memoized { " [memo]" } else { "" };
+        eprintln!(
+            "[sweep] {done}/{} {label}{memo} ({elapsed:.1}s{eta})",
+            self.total
+        );
+    }
+
+    /// Points finished so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Points in the sweep.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Seconds since the tracker was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_completions() {
+        let p = Progress::new(3, false);
+        assert_eq!(p.done(), 0);
+        p.finish_point("a", false);
+        p.finish_point("b", true);
+        assert_eq!(p.done(), 2);
+        assert_eq!(p.total(), 3);
+    }
+}

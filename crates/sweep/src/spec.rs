@@ -1,0 +1,229 @@
+//! Declarative sweep descriptions: points and grids.
+
+use fc_sim::{DesignKind, SimConfig};
+use fc_trace::WorkloadKind;
+
+use crate::scale::RunScale;
+use crate::store::PointKey;
+
+/// One experiment in a sweep: a fully specified, independently runnable
+/// simulation. Two points with equal configuration have equal
+/// [`keys`](SweepPoint::key) and always produce equal reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Workload replayed through the pod.
+    pub workload: WorkloadKind,
+    /// Memory-system design under evaluation.
+    pub design: DesignKind,
+    /// Pod configuration (cores, L2, MLP model).
+    pub config: SimConfig,
+    /// Run sizing.
+    pub scale: RunScale,
+    /// Base seed the per-point seed is derived from.
+    pub base_seed: u64,
+}
+
+impl SweepPoint {
+    /// The trace seed: a pure function of the point (never of thread
+    /// count or submission order), and of the *workload* only within a
+    /// sweep — so every design evaluated on a workload replays the same
+    /// record stream and [`TraceCache`](crate::TraceCache) can share it.
+    pub fn seed(&self) -> u64 {
+        self.base_seed ^ (self.workload as u64) << 8
+    }
+
+    /// Stacked capacity in MB used for run sizing.
+    pub fn capacity_mb(&self) -> u64 {
+        self.design.capacity_mb()
+    }
+
+    /// Warmup records for this point.
+    pub fn warmup(&self) -> u64 {
+        self.scale.warmup(self.capacity_mb())
+    }
+
+    /// Measured records for this point.
+    pub fn measured(&self) -> u64 {
+        self.scale.measured(self.capacity_mb())
+    }
+
+    /// Human-readable label (progress lines, result emitters).
+    pub fn label(&self) -> String {
+        format!("{} / {}", self.workload, self.design.label())
+    }
+
+    /// The canonical text encoding of everything that influences this
+    /// point's result. The `Debug` forms cover every field of the
+    /// design (including custom footprint configs), the pod config and
+    /// the scale, so distinct configurations never alias.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{}",
+            self.workload, self.design, self.config, self.scale, self.base_seed
+        )
+    }
+
+    /// Stable memoization key for this point.
+    pub fn key(&self) -> PointKey {
+        PointKey::from_canonical(self.canonical())
+    }
+}
+
+/// A declarative grid of sweep points.
+///
+/// Build one with the fluent methods, then hand it to
+/// [`SweepEngine::run_spec`](crate::SweepEngine::run_spec):
+///
+/// ```
+/// use fc_sim::DesignKind;
+/// use fc_sweep::{RunScale, SweepSpec};
+/// use fc_trace::WorkloadKind;
+///
+/// let spec = SweepSpec::new(RunScale::quick())
+///     .grid(
+///         &WorkloadKind::ALL,
+///         &[DesignKind::Page { mb: 64 }, DesignKind::Page { mb: 128 }],
+///     )
+///     .point(WorkloadKind::WebSearch, DesignKind::Baseline);
+/// assert_eq!(spec.len(), 13);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    scale: RunScale,
+    config: SimConfig,
+    base_seed: u64,
+    points: Vec<SweepPoint>,
+}
+
+impl SweepSpec {
+    /// Default base seed; matches the harness's historical seeding so
+    /// sweep results are comparable with earlier sequential runs.
+    pub const DEFAULT_SEED: u64 = 42;
+
+    /// An empty spec at `scale` with the default pod config and seed.
+    pub fn new(scale: RunScale) -> Self {
+        Self {
+            scale,
+            config: SimConfig::default(),
+            base_seed: Self::DEFAULT_SEED,
+            points: Vec::new(),
+        }
+    }
+
+    /// Sets the pod configuration for points added *after* this call.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the base seed for points added *after* this call.
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Appends the full cross product `workloads × designs`.
+    pub fn grid(mut self, workloads: &[WorkloadKind], designs: &[DesignKind]) -> Self {
+        for &workload in workloads {
+            for &design in designs {
+                self = self.point(workload, design);
+            }
+        }
+        self
+    }
+
+    /// Appends a single point.
+    pub fn point(mut self, workload: WorkloadKind, design: DesignKind) -> Self {
+        self.points.push(SweepPoint {
+            workload,
+            design,
+            config: self.config,
+            scale: self.scale,
+            base_seed: self.base_seed,
+        });
+        self
+    }
+
+    /// Removes duplicate points (same key), keeping first occurrences.
+    /// Submitting duplicates is harmless — the result store memoizes —
+    /// but deduping first gives accurate progress totals.
+    pub fn dedup(mut self) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        self.points.retain(|p| seen.insert(p.key()));
+        self
+    }
+
+    /// The points, in insertion order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the spec has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_cross_product() {
+        let spec = SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch, WorkloadKind::MapReduce],
+            &[
+                DesignKind::Baseline,
+                DesignKind::Footprint { mb: 64 },
+                DesignKind::Footprint { mb: 128 },
+            ],
+        );
+        assert_eq!(spec.len(), 6);
+    }
+
+    #[test]
+    fn equal_points_share_keys_distinct_points_do_not() {
+        let spec = SweepSpec::new(RunScale::tiny())
+            .point(WorkloadKind::WebSearch, DesignKind::Footprint { mb: 64 })
+            .point(WorkloadKind::WebSearch, DesignKind::Footprint { mb: 64 })
+            .point(WorkloadKind::WebSearch, DesignKind::Footprint { mb: 128 });
+        let keys: Vec<_> = spec.points().iter().map(|p| p.key()).collect();
+        assert_eq!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+    }
+
+    #[test]
+    fn dedup_preserves_order() {
+        let spec = SweepSpec::new(RunScale::tiny())
+            .point(WorkloadKind::WebSearch, DesignKind::Baseline)
+            .point(WorkloadKind::MapReduce, DesignKind::Baseline)
+            .point(WorkloadKind::WebSearch, DesignKind::Baseline)
+            .dedup();
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec.points()[0].workload, WorkloadKind::WebSearch);
+        assert_eq!(spec.points()[1].workload, WorkloadKind::MapReduce);
+    }
+
+    #[test]
+    fn seed_matches_historical_lab_seeding() {
+        let spec =
+            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignKind::Baseline);
+        let p = &spec.points()[0];
+        assert_eq!(p.seed(), 42 ^ (WorkloadKind::WebSearch as u64) << 8);
+    }
+
+    #[test]
+    fn custom_config_changes_key() {
+        let small = SweepSpec::new(RunScale::tiny())
+            .with_config(SimConfig::small())
+            .point(WorkloadKind::WebSearch, DesignKind::Baseline);
+        let default =
+            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignKind::Baseline);
+        assert_ne!(small.points()[0].key(), default.points()[0].key());
+    }
+}

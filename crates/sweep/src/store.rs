@@ -1,0 +1,274 @@
+//! Concurrent memoized result storage.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use fc_sim::SimReport;
+
+/// Stable identity of a sweep point: an FNV-1a hash for cheap sharding
+/// and comparison, plus the full canonical encoding so hash collisions
+/// can never alias two different configurations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PointKey {
+    hash: u64,
+    canonical: String,
+}
+
+impl PointKey {
+    /// Builds the key for a canonical point encoding.
+    pub fn from_canonical(canonical: String) -> Self {
+        // FNV-1a: stable across runs, platforms and Rust versions
+        // (unlike `DefaultHasher`, which documents no such guarantee).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { hash, canonical }
+    }
+
+    /// The 64-bit hash (sharding, compact external IDs).
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical encoding the key was built from.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+}
+
+/// One key's slot: either a finished report or a gate other threads
+/// wait on while the owning thread simulates.
+enum Slot {
+    Ready(Arc<SimReport>),
+    Pending(Arc<Gate>),
+}
+
+struct Gate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.done.lock().expect("gate lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("gate lock");
+        while !*done {
+            done = self.cv.wait(done).expect("gate wait");
+        }
+    }
+}
+
+/// Clears a pending slot if the computing closure panics, so waiting
+/// threads retry (and recompute) instead of deadlocking.
+struct PendingGuard<'a> {
+    store: &'a ResultStore,
+    key: &'a PointKey,
+    gate: &'a Arc<Gate>,
+    completed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            let mut shard = self.store.shard(self.key).lock().expect("store shard");
+            shard.remove(self.key);
+            drop(shard);
+            self.gate.open();
+        }
+    }
+}
+
+/// A sharded, concurrent, memoized map from [`PointKey`] to
+/// [`SimReport`]: each point is computed at most once per store, and
+/// concurrent requests for the same in-flight point block until the
+/// owner finishes rather than duplicating the simulation.
+pub struct ResultStore {
+    shards: Vec<Mutex<HashMap<PointKey, Slot>>>,
+    computed: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl Default for ResultStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResultStore {
+    /// Shards in the store: enough that a full pod's worth of worker
+    /// threads rarely contend on one lock.
+    const SHARDS: usize = 16;
+
+    /// An empty store.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            computed: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PointKey) -> &Mutex<HashMap<PointKey, Slot>> {
+        &self.shards[(key.hash64() as usize) % self.shards.len()]
+    }
+
+    /// The report for `key` if already computed.
+    pub fn get(&self, key: &PointKey) -> Option<Arc<SimReport>> {
+        let shard = self.shard(key).lock().expect("store shard");
+        match shard.get(key) {
+            Some(Slot::Ready(report)) => Some(Arc::clone(report)),
+            _ => None,
+        }
+    }
+
+    /// Returns the memoized report for `key`, running `compute` first if
+    /// this is the key's first request. Concurrent callers of the same
+    /// key wait for the single in-flight computation.
+    pub fn get_or_compute<F: FnOnce() -> SimReport>(
+        &self,
+        key: &PointKey,
+        compute: F,
+    ) -> Arc<SimReport> {
+        loop {
+            let gate = {
+                let mut shard = self.shard(key).lock().expect("store shard");
+                match shard.get(key) {
+                    Some(Slot::Ready(report)) => {
+                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(report);
+                    }
+                    Some(Slot::Pending(gate)) => Arc::clone(gate),
+                    None => {
+                        let gate = Gate::new();
+                        shard.insert(key.clone(), Slot::Pending(Arc::clone(&gate)));
+                        drop(shard);
+
+                        let mut guard = PendingGuard {
+                            store: self,
+                            key,
+                            gate: &gate,
+                            completed: false,
+                        };
+                        let report = Arc::new(compute());
+                        guard.completed = true;
+
+                        let mut shard = self.shard(key).lock().expect("store shard");
+                        shard.insert(key.clone(), Slot::Ready(Arc::clone(&report)));
+                        drop(shard);
+                        self.computed.fetch_add(1, Ordering::Relaxed);
+                        gate.open();
+                        return report;
+                    }
+                }
+            };
+            // Someone else is simulating this point: wait, then re-check
+            // (the slot is Ready on success, vacated on panic).
+            gate.wait();
+        }
+    }
+
+    /// Number of distinct simulations executed.
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served from memoized results.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(insts: u64) -> SimReport {
+        SimReport {
+            insts,
+            cycles: 1,
+            cache: Default::default(),
+            offchip: Default::default(),
+            stacked: Default::default(),
+            offchip_energy: Default::default(),
+            stacked_energy: Default::default(),
+            prediction: None,
+        }
+    }
+
+    #[test]
+    fn second_request_is_a_memo_hit() {
+        let store = ResultStore::new();
+        let key = PointKey::from_canonical("point-a".into());
+        let a = store.get_or_compute(&key, || report(7));
+        let b = store.get_or_compute(&key, || panic!("must not recompute"));
+        assert_eq!(a.insts, b.insts);
+        assert_eq!(store.computed(), 1);
+        assert_eq!(store.memo_hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_once() {
+        let store = Arc::new(ResultStore::new());
+        let key = PointKey::from_canonical("contended".into());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = Arc::clone(&store);
+            let key = key.clone();
+            handles.push(std::thread::spawn(move || {
+                store
+                    .get_or_compute(&key, || {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        report(9)
+                    })
+                    .insts
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().expect("worker"), 9);
+        }
+        assert_eq!(store.computed(), 1);
+        assert_eq!(store.memo_hits(), 7);
+    }
+
+    #[test]
+    fn panicked_computation_releases_waiters() {
+        let store = Arc::new(ResultStore::new());
+        let key = PointKey::from_canonical("poisoned".into());
+        let panicker = {
+            let store = Arc::clone(&store);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let _ = store.get_or_compute(&key, || panic!("simulated failure"));
+            })
+        };
+        assert!(panicker.join().is_err());
+        // The slot must be vacated: a retry computes fresh.
+        let r = store.get_or_compute(&key, || report(3));
+        assert_eq!(r.insts, 3);
+    }
+
+    #[test]
+    fn keys_distinguish_canonical_strings() {
+        let a = PointKey::from_canonical("a".into());
+        let b = PointKey::from_canonical("b".into());
+        assert_ne!(a, b);
+        assert_ne!(a.hash64(), b.hash64());
+        assert_eq!(a, PointKey::from_canonical("a".into()));
+    }
+}

@@ -10,7 +10,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 
 use bytes::{Buf, BufMut};
 
-use fc_types::{AccessKind, PhysAddr, Pc};
+use fc_types::{AccessKind, Pc, PhysAddr};
 
 use crate::record::TraceRecord;
 

@@ -4,7 +4,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use fc_types::{AccessKind, CoreId, MemAccess, PhysAddr, Pc};
+use fc_types::{AccessKind, CoreId, MemAccess, Pc, PhysAddr};
 
 /// One memory reference in a trace: the access itself plus the number of
 /// instructions the issuing core executed since its previous memory

@@ -14,7 +14,7 @@ use std::collections::BinaryHeap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use fc_types::{AccessKind, PhysAddr, Pc};
+use fc_types::{AccessKind, Pc, PhysAddr};
 
 use crate::record::TraceRecord;
 use crate::synth::pattern::{splitmix, CHUNK_BLOCKS};
@@ -102,8 +102,7 @@ impl CoreEngine {
             }
             let interval =
                 ((class.visit_duration as f64 / class.pattern.mean_len()).round() as u64).max(1);
-            let concurrency =
-                ((class.access_rate * interval as f64).round() as u32).max(1);
+            let concurrency = ((class.access_rate * interval as f64).round() as u32).max(1);
             let private = if class.private_region {
                 (core as u64) << 36
             } else {
@@ -133,7 +132,9 @@ impl CoreEngine {
         // interval so the schedule starts smooth.
         for c in 0..engine.classes.len() {
             for _ in 0..engine.classes[c].concurrency {
-                let when = engine.rng.random_range(0..engine.classes[c].interval.max(2));
+                let when = engine
+                    .rng
+                    .random_range(0..engine.classes[c].interval.max(2));
                 engine.spawn_fresh(c as u16, when);
             }
         }
@@ -177,11 +178,12 @@ impl CoreEngine {
 
     fn respawn_same(&mut self, visit: &Visit, when: u64) {
         let salt = self.salt_at(when);
-        let remaining =
-            self.classes[visit.class as usize]
-                .spec
-                .pattern
-                .derive(self.seed, visit.class, visit.func, salt);
+        let remaining = self.classes[visit.class as usize].spec.pattern.derive(
+            self.seed,
+            visit.class,
+            visit.func,
+            salt,
+        );
         let slot = self.alloc_slot(Visit {
             remaining,
             ..*visit
@@ -298,9 +300,7 @@ impl TraceGenerator {
     /// Panics if `cores == 0` or if some core ends up with no classes.
     pub fn from_spec(spec: &WorkloadSpec, cores: u8, seed: u64) -> Self {
         assert!(cores > 0, "need at least one core");
-        let engines: Vec<CoreEngine> = (0..cores)
-            .map(|c| CoreEngine::new(spec, c, seed))
-            .collect();
+        let engines: Vec<CoreEngine> = (0..cores).map(|c| CoreEngine::new(spec, c, seed)).collect();
         for e in &engines {
             assert!(
                 !e.classes.is_empty(),

@@ -142,9 +142,7 @@ impl WorkloadSpec {
 
 /// The six evaluated workloads (Section 5.3): five scale-out workloads
 /// from CloudSuite 1.0 plus a multiprogrammed SPEC INT2006 mix.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// Data Serving (Cassandra-like key-value store): the most
     /// bandwidth-hungry workload (Figures 5 and 7).
@@ -565,12 +563,7 @@ mod tests {
         // The combined region must dwarf 512 MB (Section 5.3: footprints
         // exceed the 16-32 GB available memory; we only need ≫ cache).
         for kind in WorkloadKind::ALL {
-            let bytes: u64 = kind
-                .spec()
-                .classes
-                .iter()
-                .map(|c| c.pages * 2048)
-                .sum();
+            let bytes: u64 = kind.spec().classes.iter().map(|c| c.pages * 2048).sum();
             assert!(
                 bytes > 4 * 512 * 1024 * 1024,
                 "{kind}: dataset only {} MB",

@@ -151,7 +151,11 @@ mod tests {
     fn family_shapes() {
         assert_eq!(PatternFamily::Full.derive(1, 0, 0, 0), u32::MAX);
         assert_eq!(PatternFamily::Singleton.derive(1, 0, 0, 0), 1);
-        let strided = PatternFamily::Strided { stride: 8, count: 4 }.derive(1, 0, 0, 0);
+        let strided = PatternFamily::Strided {
+            stride: 8,
+            count: 4,
+        }
+        .derive(1, 0, 0, 0);
         assert_eq!(strided, 1 | 1 << 8 | 1 << 16 | 1 << 24);
     }
 

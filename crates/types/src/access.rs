@@ -4,7 +4,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{PhysAddr, Pc};
+use crate::{Pc, PhysAddr};
 
 /// Identifier of a core within the simulated pod (0..16 in the paper's
 /// configuration).

@@ -43,7 +43,7 @@ mod geometry;
 mod util;
 
 pub use access::{AccessKind, CoreId, MemAccess};
-pub use addr::{BlockAddr, PageAddr, PhysAddr, Pc};
+pub use addr::{BlockAddr, PageAddr, Pc, PhysAddr};
 pub use blockstate::{BlockState, BlockStateVec};
 pub use footprint::Footprint;
 pub use geometry::PageGeometry;

@@ -7,7 +7,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run --release -p fc-sim --example data_serving
+//! cargo run --release -p fc-repro --example data_serving
 //! ```
 
 use fc_sim::{DesignKind, SimConfig, Simulation};

@@ -5,7 +5,7 @@
 //! Run with (workload name optional):
 //!
 //! ```sh
-//! cargo run --release -p fc-sim --example design_space -- "Web Frontend"
+//! cargo run --release -p fc-repro --example design_space -- "Web Frontend"
 //! ```
 
 use fc_sim::{DesignKind, SimConfig, Simulation};

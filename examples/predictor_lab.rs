@@ -6,11 +6,11 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run --release -p fc-sim --example predictor_lab
+//! cargo run --release -p fc-repro --example predictor_lab
 //! ```
 
 use fc_cache::DramCacheModel;
-use fc_types::{MemAccess, PhysAddr, Pc};
+use fc_types::{MemAccess, Pc, PhysAddr};
 use footprint_cache::{FootprintCache, FootprintCacheConfig, KeyKind};
 
 const PAGE: u64 = 2048;
@@ -74,6 +74,9 @@ fn main() {
 
     println!("\n— key ablation: PC-only key conflates differently-aligned pages —");
     for kind in [KeyKind::PcOffset, KeyKind::PcOnly, KeyKind::OffsetOnly] {
-        println!("  {kind:?}: key(pc=0x400, off=4) = {:#x}", kind.key(0x400, 4));
+        println!(
+            "  {kind:?}: key(pc=0x400, off=4) = {:#x}",
+            kind.key(0x400, 4)
+        );
     }
 }

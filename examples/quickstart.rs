@@ -5,7 +5,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run --release -p fc-sim --example quickstart
+//! cargo run --release -p fc-repro --example quickstart
 //! ```
 
 use fc_sim::{DesignKind, SimConfig, Simulation};

@@ -1,0 +1,28 @@
+//! Workspace facade for the Footprint Cache reproduction.
+//!
+//! Re-exports every layer so downstream users (and the top-level
+//! examples and integration tests) can depend on one crate. The layers,
+//! bottom to top:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`fc_types`] | shared vocabulary: addresses, footprints, geometry |
+//! | [`fc_trace`] | trace format + synthetic scale-out workloads |
+//! | [`fc_cache`] | SRAM L2 + baseline DRAM-cache designs |
+//! | [`fc_dram`] | DRAM timing/energy model (stacked + off-chip) |
+//! | [`footprint_cache`] | the paper's design: FHT, singleton table, cache |
+//! | [`fc_sim`] | trace-driven pod simulator |
+//! | [`fc_sweep`] | parallel experiment-orchestration engine |
+//! | [`fc_bench`] | the paper's figures/tables, driven through `fc_sweep` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fc_bench;
+pub use fc_cache;
+pub use fc_dram;
+pub use fc_sim;
+pub use fc_sweep;
+pub use fc_trace;
+pub use fc_types;
+pub use footprint_cache;

@@ -69,7 +69,10 @@ fn footprint_outperforms_baseline_and_page_on_bandwidth_bound_workload() {
     let base = run(DesignKind::Baseline, w).throughput();
     let page = run(DesignKind::Page { mb: MB }, w).throughput();
     let fp = run(DesignKind::Footprint { mb: MB }, w).throughput();
-    assert!(fp > base, "footprint ({fp:.3}) must beat baseline ({base:.3})");
+    assert!(
+        fp > base,
+        "footprint ({fp:.3}) must beat baseline ({base:.3})"
+    );
     assert!(fp > page, "footprint ({fp:.3}) must beat page ({page:.3})");
 }
 

@@ -60,11 +60,7 @@ fn singleton_pages_exist_in_every_scale_out_workload() {
         let records = TraceGenerator::new(w, 16, 6).take(300_000);
         let hist = analysis::page_density(records, 2048);
         let f = hist.fractions();
-        assert!(
-            f[0] > 0.03,
-            "{w}: singleton fraction {:.3} too small",
-            f[0]
-        );
+        assert!(f[0] > 0.03, "{w}: singleton fraction {:.3} too small", f[0]);
     }
 }
 

@@ -7,7 +7,7 @@ use fc_cache::{
     BlockBasedCache, DramCacheModel, HotPageCache, IdealCache, NoCache, PageBasedCache,
     SubBlockCache,
 };
-use fc_types::{AccessKind, MemAccess, PageGeometry, PhysAddr, Pc};
+use fc_types::{AccessKind, MemAccess, PageGeometry, Pc, PhysAddr};
 use footprint_cache::{FootprintCache, FootprintCacheConfig};
 
 /// A compact encoding of a random access: (page, offset, pc-id, is_write,

@@ -1,0 +1,97 @@
+//! Tier-1 guarantees of the sweep subsystem: thread-count-independent,
+//! bit-identical results, and memoization of repeated points.
+
+use fc_sim::DesignKind;
+use fc_sweep::{RunScale, SweepEngine, SweepSpec, TraceCache};
+use fc_trace::WorkloadKind;
+
+/// A small but non-trivial grid: two capacities, a predictor-bearing
+/// design, the baseline, and two workloads.
+fn spec() -> SweepSpec {
+    SweepSpec::new(RunScale::tiny()).grid(
+        &[WorkloadKind::WebSearch, WorkloadKind::DataServing],
+        &[
+            DesignKind::Baseline,
+            DesignKind::Footprint { mb: 64 },
+            DesignKind::Footprint { mb: 128 },
+            DesignKind::Page { mb: 64 },
+        ],
+    )
+}
+
+#[test]
+fn one_thread_and_many_threads_agree_bit_for_bit() {
+    let spec = spec();
+    let sequential = SweepEngine::new().with_threads(1).quiet().run_spec(&spec);
+    let parallel = SweepEngine::new().with_threads(4).quiet().run_spec(&spec);
+
+    assert_eq!(sequential.len(), spec.len());
+    assert_eq!(parallel.len(), spec.len());
+    for (seq, par) in sequential.iter().zip(&parallel) {
+        assert_eq!(seq.point, par.point, "result order must match spec order");
+        assert_eq!(
+            *seq.report,
+            *par.report,
+            "{}: parallel run diverged from sequential",
+            seq.point.label()
+        );
+    }
+}
+
+#[test]
+fn repeated_points_come_from_the_memo_store() {
+    let engine = SweepEngine::new().with_threads(2).quiet();
+    let spec = spec();
+
+    let first = engine.run_spec(&spec);
+    let simulated = engine.store().computed();
+    assert_eq!(simulated, spec.len() as u64);
+
+    // The same spec again: zero new simulations, same Arc'd reports.
+    let second = engine.run_spec(&spec);
+    assert_eq!(engine.store().computed(), simulated);
+    assert!(engine.store().memo_hits() >= spec.len() as u64);
+    for (a, b) in first.iter().zip(&second) {
+        assert!(
+            std::sync::Arc::ptr_eq(&a.report, &b.report),
+            "{}: repeated point must return the cached report",
+            a.point.label()
+        );
+    }
+
+    // A single repeated point resolves from the store too.
+    let point = spec.points()[0];
+    let report = engine.run_point(&point);
+    assert_eq!(engine.store().computed(), simulated);
+    assert_eq!(*report, *first[0].report);
+}
+
+#[test]
+fn trace_cache_streaming_fallback_is_equivalent() {
+    // The same grid with trace caching disabled (budget 0 streams every
+    // run) must produce identical reports: the cache is an optimization,
+    // never an observable behavior change.
+    let spec = spec();
+    let cached = SweepEngine::new().with_threads(2).quiet().run_spec(&spec);
+    let streamed = SweepEngine::new()
+        .with_threads(2)
+        .with_trace_budget(0)
+        .quiet()
+        .run_spec(&spec);
+    for (a, b) in cached.iter().zip(&streamed) {
+        assert_eq!(*a.report, *b.report, "{}", a.point.label());
+    }
+}
+
+#[test]
+fn shared_traces_synthesize_once_per_workload() {
+    let cache = TraceCache::new(100_000);
+    let a = cache
+        .records(WorkloadKind::WebSearch, 16, 42, 5_000)
+        .expect("within budget");
+    let b = cache
+        .records(WorkloadKind::WebSearch, 16, 42, 5_000)
+        .expect("within budget");
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+    assert_eq!(cache.records_synthesized(), 5_000);
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides the cursor-style [`Buf`]/[`BufMut`] accessors the trace
+//! codec uses: little-endian gets on `&[u8]` and puts on `&mut [u8]`,
+//! each advancing the slice past the consumed prefix exactly like the
+//! real crate's slice impls.
+
+#![forbid(unsafe_code)]
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4-byte split"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+}
+
+/// Write cursor over a byte sink.
+pub trait BufMut {
+    /// Writable bytes remaining.
+    fn remaining_mut(&self) -> usize;
+    /// Writes one byte and advances.
+    fn put_u8(&mut self, v: u8);
+    /// Writes a little-endian `u32` and advances.
+    fn put_u32_le(&mut self, v: u32);
+    /// Writes a little-endian `u64` and advances.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for &mut [u8] {
+    fn remaining_mut(&self) -> usize {
+        self.len()
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        let (head, rest) = core::mem::take(self).split_at_mut(1);
+        head[0] = v;
+        *self = rest;
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        let (head, rest) = core::mem::take(self).split_at_mut(4);
+        head.copy_from_slice(&v.to_le_bytes());
+        *self = rest;
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        let (head, rest) = core::mem::take(self).split_at_mut(8);
+        head.copy_from_slice(&v.to_le_bytes());
+        *self = rest;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn remaining_mut(&self) -> usize {
+        usize::MAX - self.len()
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_fixed_buffer() {
+        let mut backing = [0u8; 13];
+        {
+            let mut cursor = &mut backing[..];
+            cursor.put_u64_le(0x1122_3344_5566_7788);
+            cursor.put_u32_le(0xaabb_ccdd);
+            cursor.put_u8(0x42);
+            assert_eq!(cursor.remaining_mut(), 0);
+        }
+        let mut cursor = &backing[..];
+        assert_eq!(cursor.get_u64_le(), 0x1122_3344_5566_7788);
+        assert_eq!(cursor.get_u32_le(), 0xaabb_ccdd);
+        assert_eq!(cursor.get_u8(), 0x42);
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

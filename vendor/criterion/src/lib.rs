@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the macro and builder surface the `fc-bench` benchmarks use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`, `iter`, `iter_batched`, throughput annotation)
+//! with a simple wall-clock harness: each benchmark is warmed briefly,
+//! then timed over `sample_size` samples and reported as mean ns/iter
+//! (plus elements/s when a throughput is set). No statistics, plots or
+//! result persistence — just honest timings, so `cargo bench` works in
+//! this hermetic container.
+//!
+//! When invoked by `cargo test` (bench targets run with `--test`), every
+//! benchmark body executes exactly once so the test suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched-setup benchmarks group their input construction.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: one setup per measured invocation.
+    SmallInput,
+    /// Large inputs: also one setup per invocation here.
+    LargeInput,
+    /// One setup per iteration (identical here).
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+/// The timing loop handed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// (total duration, total iterations) accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.measured = Some((Duration::from_nanos(1), 1));
+            return;
+        }
+        // Calibrate: grow the batch until it takes ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((total, iters));
+    }
+
+    /// Times `routine` over values produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.measured = Some((Duration::from_nanos(1), 1));
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let per_sample = 8u64;
+        for _ in 0..self.samples {
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+                iters += 1;
+            }
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets samples per benchmark (builder style, as the real crate).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies harness arguments (`--test` from `cargo test` switches to
+    /// run-once mode; everything else is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(&id.into().label, sample_size, test_mode, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides samples per benchmark for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Annotates the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(
+            &label,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (parity with the real API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        test_mode,
+        samples,
+        measured: None,
+    };
+    f(&mut bencher);
+    let Some((total, iters)) = bencher.measured else {
+        println!("{label:<48} (no measurement recorded)");
+        return;
+    };
+    if test_mode {
+        println!("{label:<48} ok (test mode)");
+        return;
+    }
+    let ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            format!("  {per_sec:>14.0} elem/s")
+        }
+        Throughput::Bytes(n) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            format!("  {:>14.1} MB/s", per_sec / 1e6)
+        }
+    });
+    println!(
+        "{label:<48} {ns_per_iter:>14.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group function, in either real-criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

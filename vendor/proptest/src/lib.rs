@@ -1,0 +1,341 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use — the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! header, [`Strategy`] for integer ranges / tuples / `bool` /
+//! [`collection::vec`], [`any`], and the `prop_assert*` macros — as a
+//! deterministic generate-and-assert loop. Cases are seeded from a fixed
+//! constant plus the case index, so failures reproduce exactly across
+//! runs and machines. There is no shrinking: a failing case panics with
+//! the values baked into the assertion message.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (subset of the real crate's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// The deterministic generator driving each case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Generator for case number `case` (pure function of the index).
+    pub fn for_case(case: u32) -> Self {
+        TestRng(SmallRng::seed_from_u64(0xfc5e_ed00_0000_0000 ^ case as u64))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.random::<u64>()
+    }
+}
+
+/// A recipe producing random values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`, as `any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// `bool` strategies, as `proptest::bool::ANY`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform `bool` strategy.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            super::Arbitrary::arbitrary(rng)
+        }
+    }
+
+    /// The uniform `bool` strategy constant.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+/// Collection strategies, as `proptest::collection::vec`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector strategy: `len` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Asserts a condition inside a property (here: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (here: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (here: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the assumption fails (the case body runs
+/// inside a per-case closure, so `return` abandons just this case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block )*) => {
+        $(
+            $crate::__proptest_params! {
+                cfg = $cfg;
+                meta = [ $(#[$meta])* ];
+                name = $name;
+                body = $body;
+                pats = [];
+                strats = [];
+                rest = [ $($params)* ];
+            }
+        )*
+    };
+}
+
+/// Tt-muncher over a property's parameter list: each parameter is either
+/// `name in strategy` or `name: Type` (shorthand for `any::<Type>()`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // All parameters consumed: emit the test fn.
+    (cfg = $cfg:expr; meta = [$($meta:tt)*]; name = $name:ident; body = $body:block;
+     pats = [$($pat:ident,)*]; strats = [$($strat:expr,)*]; rest = [];) => {
+        $($meta)*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ( $($strat,)* );
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(case);
+                let ( $($pat,)* ) = $crate::Strategy::generate(&strategy, &mut rng);
+                // Closure per case so `prop_assume!` can skip via `return`.
+                (move || $body)();
+            }
+        }
+    };
+    // `name in strategy, ...`
+    (cfg = $cfg:expr; meta = [$($meta:tt)*]; name = $name:ident; body = $body:block;
+     pats = [$($pat:ident,)*]; strats = [$($strat:expr,)*];
+     rest = [$arg:ident in $s:expr, $($rest:tt)*];) => {
+        $crate::__proptest_params! {
+            cfg = $cfg; meta = [$($meta)*]; name = $name; body = $body;
+            pats = [$($pat,)* $arg,]; strats = [$($strat,)* $s,]; rest = [$($rest)*];
+        }
+    };
+    // `name in strategy` (last parameter)
+    (cfg = $cfg:expr; meta = [$($meta:tt)*]; name = $name:ident; body = $body:block;
+     pats = [$($pat:ident,)*]; strats = [$($strat:expr,)*];
+     rest = [$arg:ident in $s:expr];) => {
+        $crate::__proptest_params! {
+            cfg = $cfg; meta = [$($meta)*]; name = $name; body = $body;
+            pats = [$($pat,)* $arg,]; strats = [$($strat,)* $s,]; rest = [];
+        }
+    };
+    // `name: Type, ...`
+    (cfg = $cfg:expr; meta = [$($meta:tt)*]; name = $name:ident; body = $body:block;
+     pats = [$($pat:ident,)*]; strats = [$($strat:expr,)*];
+     rest = [$arg:ident : $ty:ty, $($rest:tt)*];) => {
+        $crate::__proptest_params! {
+            cfg = $cfg; meta = [$($meta)*]; name = $name; body = $body;
+            pats = [$($pat,)* $arg,]; strats = [$($strat,)* $crate::any::<$ty>(),];
+            rest = [$($rest)*];
+        }
+    };
+    // `name: Type` (last parameter)
+    (cfg = $cfg:expr; meta = [$($meta:tt)*]; name = $name:ident; body = $body:block;
+     pats = [$($pat:ident,)*]; strats = [$($strat:expr,)*];
+     rest = [$arg:ident : $ty:ty];) => {
+        $crate::__proptest_params! {
+            cfg = $cfg; meta = [$($meta)*]; name = $name; body = $body;
+            pats = [$($pat,)* $arg,]; strats = [$($strat,)* $crate::any::<$ty>(),];
+            rest = [];
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(x in strategy, y: Type) { .. }`
+/// becomes a `#[test]` looping over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// One-stop imports matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strategy = (0u64..100, 0u8..8);
+        let mut a = crate::TestRng::for_case(3);
+        let mut b = crate::TestRng::for_case(3);
+        assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(any::<u8>(), 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuples_generate(t in (0u32..10, crate::bool::ANY)) {
+            prop_assert!(t.0 < 10);
+        }
+    }
+}

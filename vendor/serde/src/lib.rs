@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container builds with no network access, so the real `serde`
+//! cannot be fetched. Nothing in the workspace performs reflective
+//! serialization — result emission is hand-written JSON/CSV in
+//! `fc_sweep::emit` — but many types carry `#[derive(Serialize,
+//! Deserialize)]` so external tooling can swap the real crate back in.
+//! Here the traits are method-less markers and the derives (from the
+//! sibling `serde_derive` shim) emit empty impls, which keeps every
+//! annotation compiling while costing nothing at runtime.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,199 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` shim defines `Serialize` and `Deserialize` as
+//! method-less marker traits (this workspace performs all real
+//! serialization by hand — see `fc_sweep::emit`), so deriving them only
+//! requires naming the type and echoing its generic parameters. The
+//! hand-rolled parser below (no `syn` available offline) handles
+//! attributes, visibility, `struct`/`enum`/`union`, and generic
+//! parameter lists with lifetimes, type params (bounds and defaults are
+//! stripped — marker traits need no bounds) and const params.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// One parsed generic parameter.
+enum Param {
+    Lifetime(String),
+    Type(String),
+    Const { name: String, ty: String },
+}
+
+struct Parsed {
+    name: String,
+    params: Vec<Param>,
+}
+
+impl Parsed {
+    /// `<'a, T, const N: usize>` for the `impl<...>` position (bounds
+    /// and defaults dropped; marker traits need none).
+    fn impl_generics(&self) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match p {
+                Param::Lifetime(l) => l.clone(),
+                Param::Type(t) => t.clone(),
+                Param::Const { name, ty } => format!("const {name}: {ty}"),
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+
+    /// `<'a, T, N>` for the type position.
+    fn type_generics(&self) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match p {
+                Param::Lifetime(l) => l.clone(),
+                Param::Type(t) => t.clone(),
+                Param::Const { name, .. } => name.clone(),
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+/// Splits the token run of one generic parameter into the piece before
+/// any `:` bound or `=` default.
+fn param_from_tokens(tokens: &[TokenTree]) -> Option<Param> {
+    let mut iter = tokens.iter().peekable();
+    match iter.peek()? {
+        TokenTree::Punct(p) if p.as_char() == '\'' => {
+            iter.next();
+            let name = match iter.next()? {
+                TokenTree::Ident(i) => i.to_string(),
+                _ => return None,
+            };
+            Some(Param::Lifetime(format!("'{name}")))
+        }
+        TokenTree::Ident(i) if i.to_string() == "const" => {
+            iter.next();
+            let name = match iter.next()? {
+                TokenTree::Ident(i) => i.to_string(),
+                _ => return None,
+            };
+            // Skip the `:` and collect the type tokens up to any `=`.
+            match iter.next()? {
+                TokenTree::Punct(p) if p.as_char() == ':' => {}
+                _ => return None,
+            }
+            let mut ty = String::new();
+            for tt in iter {
+                if let TokenTree::Punct(p) = tt {
+                    if p.as_char() == '=' {
+                        break;
+                    }
+                }
+                ty.push_str(&tt.to_string());
+            }
+            Some(Param::Const { name, ty })
+        }
+        TokenTree::Ident(_) => {
+            let name = match iter.next()? {
+                TokenTree::Ident(i) => i.to_string(),
+                _ => return None,
+            };
+            Some(Param::Type(name))
+        }
+        _ => None,
+    }
+}
+
+/// Extracts the type name and generic parameters from a type definition.
+fn parse(input: TokenStream) -> Parsed {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes (`#[...]`, including expanded doc
+            // comments): a `#` punct followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word != "struct" && word != "enum" && word != "union" {
+                    continue; // `pub`, `pub(crate)`, etc.
+                }
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                };
+                // Collect `<...>` if present, splitting top-level commas.
+                let mut params = Vec::new();
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    tokens.next();
+                    let mut depth = 1usize;
+                    let mut current: Vec<TokenTree> = Vec::new();
+                    for tt in tokens.by_ref() {
+                        match &tt {
+                            TokenTree::Punct(p) if p.as_char() == '<' => {
+                                depth += 1;
+                                current.push(tt);
+                            }
+                            TokenTree::Punct(p) if p.as_char() == '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                                current.push(tt);
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                if let Some(param) = param_from_tokens(&current) {
+                                    params.push(param);
+                                }
+                                current.clear();
+                            }
+                            _ => current.push(tt),
+                        }
+                    }
+                    if let Some(param) = param_from_tokens(&current) {
+                        params.push(param);
+                    }
+                }
+                return Parsed { name, params };
+            }
+            _ => {}
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum found in derive input");
+}
+
+/// Derives the `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    format!(
+        "impl{} ::serde::Serialize for {}{} {{}}",
+        parsed.impl_generics(),
+        parsed.name,
+        parsed.type_generics()
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    // Splice `'de` ahead of the type's own parameters.
+    let impl_generics = match parsed.impl_generics() {
+        g if g.is_empty() => "<'de>".to_string(),
+        g => format!("<'de, {}", &g[1..]),
+    };
+    format!(
+        "impl{} ::serde::Deserialize<'de> for {}{} {{}}",
+        impl_generics,
+        parsed.name,
+        parsed.type_generics()
+    )
+    .parse()
+    .expect("generated impl parses")
+}
