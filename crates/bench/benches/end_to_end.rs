@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_sim::{DesignSpec, SimConfig, Simulation};
 use fc_trace::{TraceGenerator, WorkloadKind};
 
 fn bench_simulation(c: &mut Criterion) {
@@ -13,10 +13,10 @@ fn bench_simulation(c: &mut Criterion) {
     group.sample_size(10);
 
     for design in [
-        DesignKind::Baseline,
-        DesignKind::Block { mb: 64 },
-        DesignKind::Page { mb: 64 },
-        DesignKind::Footprint { mb: 64 },
+        DesignSpec::baseline(),
+        DesignSpec::block(64),
+        DesignSpec::page(64),
+        DesignSpec::footprint(64),
     ] {
         group.bench_with_input(
             BenchmarkId::new("replay", design.label()),

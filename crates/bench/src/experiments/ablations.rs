@@ -2,7 +2,7 @@
 //! prediction key (Section 3.1), page-cache writeback granularity, and
 //! the sub-blocked extreme.
 
-use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_sim::{DesignSpec, SimConfig, Simulation};
 use fc_trace::WorkloadKind;
 use fc_types::mean;
 use footprint_cache::KeyKind;
@@ -26,7 +26,7 @@ pub fn ablation_enhanced_baseline() -> String {
                 l2_bytes,
                 ..SimConfig::default()
             };
-            let mut sim = Simulation::new(config, DesignKind::Baseline);
+            let mut sim = Simulation::new(config, DesignSpec::baseline());
             sim.run_workload(w, 42 ^ (w as u64) << 8, 1_200_000, 800_000)
                 .throughput()
         };
@@ -52,8 +52,8 @@ pub fn ablation_enhanced_baseline() -> String {
 pub fn ablation_singleton(lab: &mut Lab) -> String {
     let mut designs = Vec::new();
     for mb in [64u64, 256] {
-        designs.push(DesignKind::Footprint { mb });
-        designs.push(DesignKind::footprint_no_singleton(mb));
+        designs.push(DesignSpec::footprint(mb));
+        designs.push(DesignSpec::footprint_no_singleton(mb));
     }
     lab.prefetch(&WorkloadKind::ALL, &designs);
 
@@ -67,9 +67,9 @@ pub fn ablation_singleton(lab: &mut Lab) -> String {
     let mut reductions = Vec::new();
     for w in WorkloadKind::ALL {
         for mb in [64u64, 256] {
-            let with = lab.run(w, DesignKind::Footprint { mb }).cache.miss_ratio();
+            let with = lab.run(w, DesignSpec::footprint(mb)).cache.miss_ratio();
             let without = lab
-                .run(w, DesignKind::footprint_no_singleton(mb))
+                .run(w, DesignSpec::footprint_no_singleton(mb))
                 .cache
                 .miss_ratio();
             let reduction = if without > 0.0 {
@@ -109,7 +109,7 @@ pub fn ablation_key(lab: &mut Lab) -> String {
         ("PC only", KeyKind::PcOnly),
         ("offset only", KeyKind::OffsetOnly),
     ]
-    .map(|(name, key)| (name, DesignKind::footprint_with_key(256, key)));
+    .map(|(name, key)| (name, DesignSpec::footprint_with_key(256, key)));
     lab.prefetch(&workloads, &keyed_designs.map(|(_, d)| d));
 
     let mut table = Table::new(&["workload", "key", "miss ratio", "covered", "overpred"]);
@@ -140,10 +140,7 @@ pub fn ablation_key(lab: &mut Lab) -> String {
 pub fn ablation_writeback(lab: &mut Lab) -> String {
     lab.prefetch(
         &WorkloadKind::ALL,
-        &[
-            DesignKind::Page { mb: 256 },
-            DesignKind::PageDirtyBlockWb { mb: 256 },
-        ],
+        &[DesignSpec::page(256), DesignSpec::page_dirty_wb(256)],
     );
 
     let mut table = Table::new(&[
@@ -153,8 +150,8 @@ pub fn ablation_writeback(lab: &mut Lab) -> String {
         "traffic saved",
     ]);
     for w in WorkloadKind::ALL {
-        let page = lab.run(w, DesignKind::Page { mb: 256 });
-        let dirty = lab.run(w, DesignKind::PageDirtyBlockWb { mb: 256 });
+        let page = lab.run(w, DesignSpec::page(256));
+        let dirty = lab.run(w, DesignSpec::page_dirty_wb(256));
         let a = page.offchip_bytes_per_inst();
         let b = dirty.offchip_bytes_per_inst();
         table.row(vec![
@@ -177,10 +174,7 @@ pub fn ablation_writeback(lab: &mut Lab) -> String {
 pub fn ablation_subblock(lab: &mut Lab) -> String {
     lab.prefetch(
         &WorkloadKind::ALL,
-        &[
-            DesignKind::SubBlock { mb: 256 },
-            DesignKind::Footprint { mb: 256 },
-        ],
+        &[DesignSpec::subblock(256), DesignSpec::footprint(256)],
     );
 
     let mut table = Table::new(&[
@@ -191,8 +185,8 @@ pub fn ablation_subblock(lab: &mut Lab) -> String {
         "Footprint B/inst",
     ]);
     for w in WorkloadKind::ALL {
-        let sub = lab.run(w, DesignKind::SubBlock { mb: 256 });
-        let fp = lab.run(w, DesignKind::Footprint { mb: 256 });
+        let sub = lab.run(w, DesignSpec::subblock(256));
+        let fp = lab.run(w, DesignSpec::footprint(256));
         table.row(vec![
             w.name().into(),
             pct(sub.cache.miss_ratio()),

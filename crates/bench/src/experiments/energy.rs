@@ -1,7 +1,7 @@
 //! Figures 10 and 11: dynamic DRAM energy per instruction, split into
 //! activate/precharge and read/write burst components (256 MB caches).
 
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 use fc_types::geomean;
 
@@ -12,22 +12,22 @@ const MB: u64 = 256;
 
 /// Figure 10's grid: the 256 MB contenders plus the baseline it
 /// normalizes against. Prefetch and measurement iterate this one list.
-fn fig10_designs() -> [(&'static str, DesignKind); 4] {
+fn fig10_designs() -> [(&'static str, DesignSpec); 4] {
     [
-        ("Baseline", DesignKind::Baseline),
-        ("Block", DesignKind::Block { mb: MB }),
-        ("Page", DesignKind::Page { mb: MB }),
-        ("Footprint", DesignKind::Footprint { mb: MB }),
+        ("Baseline", DesignSpec::baseline()),
+        ("Block", DesignSpec::block(MB)),
+        ("Page", DesignSpec::page(MB)),
+        ("Footprint", DesignSpec::footprint(MB)),
     ]
 }
 
 /// Figure 11's grid: stacked-DRAM energy has no baseline bar (the
 /// baseline has no stacked DRAM), so it needs only the contenders.
-fn fig11_designs() -> [(&'static str, DesignKind); 3] {
+fn fig11_designs() -> [(&'static str, DesignSpec); 3] {
     [
-        ("Block", DesignKind::Block { mb: MB }),
-        ("Page", DesignKind::Page { mb: MB }),
-        ("Footprint", DesignKind::Footprint { mb: MB }),
+        ("Block", DesignSpec::block(MB)),
+        ("Page", DesignSpec::page(MB)),
+        ("Footprint", DesignSpec::footprint(MB)),
     ]
 }
 
@@ -38,7 +38,7 @@ pub fn fig10(lab: &mut Lab) -> String {
     let mut table = Table::new(&["workload", "design", "act/pre", "burst", "total"]);
     let mut totals: [Vec<f64>; 4] = Default::default();
     for w in WorkloadKind::ALL {
-        let base = lab.run(w, DesignKind::Baseline);
+        let base = lab.run(w, DesignSpec::baseline());
         let norm = base.offchip_energy_per_inst_nj().max(1e-12);
         for (i, (name, d)) in fig10_designs().into_iter().enumerate() {
             let r = lab.run(w, d);
@@ -86,7 +86,7 @@ pub fn fig11(lab: &mut Lab) -> String {
     let mut table = Table::new(&["workload", "design", "act/pre", "burst", "total"]);
     let mut totals: [Vec<f64>; 3] = Default::default();
     for w in WorkloadKind::ALL {
-        let block = lab.run(w, DesignKind::Block { mb: MB });
+        let block = lab.run(w, DesignSpec::block(MB));
         let norm = block.stacked_energy_per_inst_nj().max(1e-12);
         for (i, (name, d)) in fig11_designs().into_iter().enumerate() {
             let r = lab.run(w, d);

@@ -2,7 +2,7 @@
 //! (8x bandwidth), with and without halved DRAM latency, over the 2D
 //! baseline.
 
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 use fc_types::geomean;
 
@@ -14,9 +14,9 @@ pub fn fig1(lab: &mut Lab) -> String {
     lab.prefetch(
         &WorkloadKind::ALL,
         &[
-            DesignKind::Baseline,
-            DesignKind::Ideal,
-            DesignKind::IdealLowLatency,
+            DesignSpec::baseline(),
+            DesignSpec::ideal(),
+            DesignSpec::ideal_low_latency(),
         ],
     );
 
@@ -24,9 +24,9 @@ pub fn fig1(lab: &mut Lab) -> String {
     let mut hb = Vec::new();
     let mut hbll = Vec::new();
     for w in WorkloadKind::ALL {
-        let base = lab.run(w, DesignKind::Baseline).throughput();
-        let high_bw = lab.run(w, DesignKind::Ideal).throughput();
-        let low_lat = lab.run(w, DesignKind::IdealLowLatency).throughput();
+        let base = lab.run(w, DesignSpec::baseline()).throughput();
+        let high_bw = lab.run(w, DesignSpec::ideal()).throughput();
+        let low_lat = lab.run(w, DesignSpec::ideal_low_latency()).throughput();
         hb.push(high_bw / base);
         hbll.push(low_lat / base);
         table.row(vec![

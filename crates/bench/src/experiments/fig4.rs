@@ -3,15 +3,15 @@
 //! page-based cache.
 
 use fc_cache::DensityHistogram;
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 
 use crate::experiments::{pct, Table, CAPACITIES_MB};
 use crate::Lab;
 
 /// The Figure 4 grid: the page-based cache at every capacity.
-fn designs() -> Vec<DesignKind> {
-    CAPACITIES_MB.map(|mb| DesignKind::Page { mb }).to_vec()
+fn designs() -> Vec<DesignSpec> {
+    CAPACITIES_MB.map(DesignSpec::page).to_vec()
 }
 
 /// Regenerates Figure 4.
@@ -25,7 +25,7 @@ pub fn fig4(lab: &mut Lab) -> String {
 
     for w in WorkloadKind::ALL {
         for mb in CAPACITIES_MB {
-            let report = lab.run(w, DesignKind::Page { mb });
+            let report = lab.run(w, DesignSpec::page(mb));
             let f = report.cache.density.fractions();
             // Approximate mean density from bin representatives.
             let reps = [1.0, 2.5, 5.5, 11.5, 23.5, 32.0];

@@ -2,20 +2,20 @@
 //! normalized to the baseline, for the page-based, Footprint, and
 //! block-based designs across capacities.
 
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 
 use crate::experiments::{pct, Table, CAPACITIES_MB};
 use crate::Lab;
 
 /// The Figure 5 grid: baseline plus page/footprint/block per capacity.
-fn designs() -> Vec<DesignKind> {
-    let mut designs = vec![DesignKind::Baseline];
+fn designs() -> Vec<DesignSpec> {
+    let mut designs = vec![DesignSpec::baseline()];
     for mb in CAPACITIES_MB {
         designs.extend([
-            DesignKind::Page { mb },
-            DesignKind::Footprint { mb },
-            DesignKind::Block { mb },
+            DesignSpec::page(mb),
+            DesignSpec::footprint(mb),
+            DesignSpec::block(mb),
         ]);
     }
     designs
@@ -37,13 +37,13 @@ pub fn fig5(lab: &mut Lab) -> String {
 
     for w in WorkloadKind::ALL {
         let base_bpi = lab
-            .run(w, DesignKind::Baseline)
+            .run(w, DesignSpec::baseline())
             .offchip_bytes_per_inst()
             .max(1e-12);
         for mb in CAPACITIES_MB {
-            let page = lab.run(w, DesignKind::Page { mb });
-            let fp = lab.run(w, DesignKind::Footprint { mb });
-            let block = lab.run(w, DesignKind::Block { mb });
+            let page = lab.run(w, DesignSpec::page(mb));
+            let fp = lab.run(w, DesignSpec::footprint(mb));
+            let block = lab.run(w, DesignSpec::block(mb));
             miss.row(vec![
                 w.name().into(),
                 format!("{mb}"),

@@ -1,47 +1,62 @@
 //! Figures 6 and 7: performance improvement over the baseline across
 //! designs and capacities (Figure 7 isolates Data Serving, whose scale
-//! dwarfs the others).
+//! dwarfs the others), extended with the related-work contenders
+//! (Alloy, Banshee, Gemini) the paper's argument is measured against.
 
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 use fc_types::geomean;
 
 use crate::experiments::{improvement, Table, CAPACITIES_MB};
 use crate::Lab;
 
-/// The Figures 6/7 grid: baseline and ideal bounds plus the three
-/// contenders per capacity.
-fn designs() -> Vec<DesignKind> {
-    let mut designs = vec![DesignKind::Baseline, DesignKind::Ideal];
+/// The capacity-scaled contenders of the Figures 6/7 comparison, in
+/// column order: the paper's three plus the related-work designs.
+fn contenders(mb: u64) -> [DesignSpec; 6] {
+    [
+        DesignSpec::block(mb),
+        DesignSpec::page(mb),
+        DesignSpec::footprint(mb),
+        DesignSpec::alloy(mb),
+        DesignSpec::banshee(mb),
+        DesignSpec::gemini(mb),
+    ]
+}
+
+/// Column headers matching [`contenders`].
+const CONTENDER_NAMES: [&str; 6] = ["Block", "Page", "Footprint", "Alloy", "Banshee", "Gemini"];
+
+/// The Figures 6/7 grid: baseline and ideal bounds plus every
+/// contender per capacity.
+fn designs() -> Vec<DesignSpec> {
+    let mut designs = vec![DesignSpec::baseline(), DesignSpec::ideal()];
     for mb in CAPACITIES_MB {
-        designs.extend([
-            DesignKind::Block { mb },
-            DesignKind::Page { mb },
-            DesignKind::Footprint { mb },
-        ]);
+        designs.extend(contenders(mb));
     }
     designs
+}
+
+fn header() -> Vec<&'static str> {
+    let mut header = vec!["workload", "MB"];
+    header.extend(CONTENDER_NAMES);
+    header.push("Ideal");
+    header
 }
 
 fn perf_rows(lab: &mut Lab, workloads: &[WorkloadKind]) -> Table {
     lab.prefetch(workloads, &designs());
 
-    let mut table = Table::new(&["workload", "MB", "Block", "Page", "Footprint", "Ideal"]);
+    let mut table = Table::new(&header());
     for &w in workloads {
-        let base = lab.run(w, DesignKind::Baseline).throughput();
-        let ideal = lab.run(w, DesignKind::Ideal).throughput();
+        let base = lab.run(w, DesignSpec::baseline()).throughput();
+        let ideal = lab.run(w, DesignSpec::ideal()).throughput();
         for mb in CAPACITIES_MB {
-            let block = lab.run(w, DesignKind::Block { mb }).throughput();
-            let page = lab.run(w, DesignKind::Page { mb }).throughput();
-            let fp = lab.run(w, DesignKind::Footprint { mb }).throughput();
-            table.row(vec![
-                w.name().into(),
-                format!("{mb}"),
-                improvement(block, base),
-                improvement(page, base),
-                improvement(fp, base),
-                improvement(ideal, base),
-            ]);
+            let mut row = vec![w.name().into(), format!("{mb}")];
+            for design in contenders(mb) {
+                row.push(improvement(lab.run(w, design).throughput(), base));
+            }
+            row.push(improvement(ideal, base));
+            table.row(row);
         }
     }
     table
@@ -57,22 +72,20 @@ pub fn fig6(lab: &mut Lab) -> String {
 
     // Geomean rows across the five workloads.
     for mb in CAPACITIES_MB {
-        let mut ratios: [Vec<f64>; 4] = Default::default();
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); CONTENDER_NAMES.len() + 1];
         for &w in &workloads {
-            let base = lab.run(w, DesignKind::Baseline).throughput();
-            ratios[0].push(lab.run(w, DesignKind::Block { mb }).throughput() / base);
-            ratios[1].push(lab.run(w, DesignKind::Page { mb }).throughput() / base);
-            ratios[2].push(lab.run(w, DesignKind::Footprint { mb }).throughput() / base);
-            ratios[3].push(lab.run(w, DesignKind::Ideal).throughput() / base);
+            let base = lab.run(w, DesignSpec::baseline()).throughput();
+            for (column, design) in contenders(mb).into_iter().enumerate() {
+                ratios[column].push(lab.run(w, design).throughput() / base);
+            }
+            let ideal_column = CONTENDER_NAMES.len();
+            ratios[ideal_column].push(lab.run(w, DesignSpec::ideal()).throughput() / base);
         }
-        table.row(vec![
-            "geomean".into(),
-            format!("{mb}"),
-            format!("{:+.1}%", (geomean(&ratios[0]) - 1.0) * 100.0),
-            format!("{:+.1}%", (geomean(&ratios[1]) - 1.0) * 100.0),
-            format!("{:+.1}%", (geomean(&ratios[2]) - 1.0) * 100.0),
-            format!("{:+.1}%", (geomean(&ratios[3]) - 1.0) * 100.0),
-        ]);
+        let mut row = vec!["geomean".into(), format!("{mb}")];
+        for r in &ratios {
+            row.push(format!("{:+.1}%", (geomean(r) - 1.0) * 100.0));
+        }
+        table.row(row);
     }
 
     format!(
@@ -80,7 +93,9 @@ pub fn fig6(lab: &mut Lab) -> String {
          Paper: block-based gives a good initial boost but flattens with\n\
          capacity (steady miss ratio); page-based starts poorly (traffic)\n\
          and recovers with capacity; Footprint improves steadily and wins\n\
-         from 128 MB up, reaching ~82% of Ideal.\n\n{}",
+         from 128 MB up, reaching ~82% of Ideal. Alloy tracks block-based\n\
+         (block fills, compound hits), Banshee curbs the page cache's\n\
+         traffic at some hit ratio, Gemini tracks page-based hits.\n\n{}",
         table.to_markdown()
     )
 }

@@ -1,7 +1,7 @@
 //! Figure 8: footprint predictor accuracy (covered / underpredicted /
 //! overpredicted blocks) as a function of the page size, at 256 MB.
 
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 use fc_types::PageGeometry;
 use footprint_cache::FootprintCacheConfig;
@@ -12,14 +12,13 @@ use crate::Lab;
 /// The Figure 8 grid: 256 MB footprint caches at each page size. Both
 /// the prefetch and the measurement loop iterate this one list, so the
 /// parallel grid and the reads can never drift apart.
-fn designs() -> [(usize, DesignKind); 3] {
+fn designs() -> [(usize, DesignSpec); 3] {
     [1024usize, 2048, 4096].map(|page_size| {
         (
             page_size,
-            DesignKind::FootprintCustom {
-                config: FootprintCacheConfig::new(256 << 20)
-                    .with_geometry(PageGeometry::new(page_size)),
-            },
+            DesignSpec::footprint_custom(
+                FootprintCacheConfig::new(256 << 20).with_geometry(PageGeometry::new(page_size)),
+            ),
         )
     })
 }

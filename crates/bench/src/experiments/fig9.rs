@@ -1,7 +1,7 @@
 //! Figure 9: hit-ratio sensitivity to the number of FHT entries
 //! (256 MB cache, 2 KB pages).
 
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 use footprint_cache::FootprintCacheConfig;
 
@@ -13,9 +13,9 @@ pub const FHT_SIZES: [usize; 4] = [1024, 4096, 16 * 1024, 64 * 1024];
 
 /// The Figure 9 grid: 256 MB footprint caches at each FHT size. The
 /// prefetch and the measurement loop both iterate this list.
-fn designs() -> [DesignKind; 4] {
-    FHT_SIZES.map(|entries| DesignKind::FootprintCustom {
-        config: FootprintCacheConfig::new(256 << 20).with_fht_entries(entries),
+fn designs() -> [DesignSpec; 4] {
+    FHT_SIZES.map(|entries| {
+        DesignSpec::footprint_custom(FootprintCacheConfig::new(256 << 20).with_fht_entries(entries))
     })
 }
 

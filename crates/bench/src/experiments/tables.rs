@@ -2,7 +2,7 @@
 //! measurements) and the SRAM storage/latency table.
 
 use fc_cache::{BlockBasedCache, DramCacheModel, PageBasedCache};
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_trace::WorkloadKind;
 use fc_types::{mean, PageGeometry};
 use footprint_cache::{FootprintCache, FootprintCacheConfig};
@@ -82,10 +82,10 @@ pub fn table1(lab: &mut Lab) -> String {
     lab.prefetch(
         &WorkloadKind::ALL,
         &[
-            DesignKind::Baseline,
-            DesignKind::Block { mb },
-            DesignKind::Page { mb },
-            DesignKind::Footprint { mb },
+            DesignSpec::baseline(),
+            DesignSpec::block(mb),
+            DesignSpec::page(mb),
+            DesignSpec::footprint(mb),
         ],
     );
 
@@ -96,9 +96,9 @@ pub fn table1(lab: &mut Lab) -> String {
         ("fetched blocks demanded (capacity mgmt)", Vec::new()),
     ];
     let designs = [
-        DesignKind::Block { mb },
-        DesignKind::Page { mb },
-        DesignKind::Footprint { mb },
+        DesignSpec::block(mb),
+        DesignSpec::page(mb),
+        DesignSpec::footprint(mb),
     ];
     for d in designs {
         let mut hit = Vec::new();
@@ -106,7 +106,7 @@ pub fn table1(lab: &mut Lab) -> String {
         let mut rowhit = Vec::new();
         let mut useful = Vec::new();
         for w in WorkloadKind::ALL {
-            let base = lab.run(w, DesignKind::Baseline).offchip_bytes_per_inst();
+            let base = lab.run(w, DesignSpec::baseline()).offchip_bytes_per_inst();
             let r = lab.run(w, d);
             hit.push(r.cache.hit_ratio());
             traffic.push(r.offchip_bytes_per_inst() / base.max(1e-12));

@@ -8,7 +8,7 @@
 //! `run` calls for points never prefetched still work — they simulate
 //! on the calling thread, exactly like the old sequential lab.
 
-use fc_sim::{DesignKind, SimConfig, SimReport};
+use fc_sim::{DesignSpec, SimConfig, SimReport};
 use fc_sweep::{RunScale, SweepEngine, SweepPoint, SweepSpec};
 use fc_trace::WorkloadKind;
 
@@ -75,7 +75,7 @@ impl Lab {
     }
 
     /// The fully specified sweep point for `(workload, design)`.
-    fn point(&self, workload: WorkloadKind, design: DesignKind) -> SweepPoint {
+    fn point(&self, workload: WorkloadKind, design: DesignSpec) -> SweepPoint {
         SweepPoint {
             workload,
             design,
@@ -87,7 +87,7 @@ impl Lab {
 
     /// Runs the `workloads × designs` grid in parallel, warming the
     /// memo store so subsequent [`run`](Lab::run) calls are lookups.
-    pub fn prefetch(&mut self, workloads: &[WorkloadKind], designs: &[DesignKind]) {
+    pub fn prefetch(&mut self, workloads: &[WorkloadKind], designs: &[DesignSpec]) {
         let spec = self.spec().grid(workloads, designs).dedup();
         self.prefetch_spec(&spec);
     }
@@ -98,7 +98,7 @@ impl Lab {
     }
 
     /// Runs (or reuses) the simulation of `design` on `workload`.
-    pub fn run(&mut self, workload: WorkloadKind, design: DesignKind) -> SimReport {
+    pub fn run(&mut self, workload: WorkloadKind, design: DesignSpec) -> SimReport {
         let point = self.point(workload, design);
         if self.verbose && self.engine.store().get(&point.key()).is_none() {
             eprintln!(
@@ -128,8 +128,8 @@ mod tests {
     #[test]
     fn runs_are_memoized() {
         let mut lab = Lab::new(test_scale()).quiet();
-        let a = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
-        let b = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        let a = lab.run(WorkloadKind::WebSearch, DesignSpec::baseline());
+        let b = lab.run(WorkloadKind::WebSearch, DesignSpec::baseline());
         assert_eq!(lab.runs_executed(), 1);
         assert_eq!(a.insts, b.insts);
     }
@@ -138,7 +138,7 @@ mod tests {
     fn prefetch_makes_runs_lookups() {
         let mut lab = Lab::new(test_scale()).quiet().with_threads(2);
         let workloads = [WorkloadKind::WebSearch, WorkloadKind::MapReduce];
-        let designs = [DesignKind::Baseline, DesignKind::Footprint { mb: 64 }];
+        let designs = [DesignSpec::baseline(), DesignSpec::footprint(64)];
         lab.prefetch(&workloads, &designs);
         assert_eq!(lab.runs_executed(), 4);
         for w in workloads {
@@ -153,25 +153,25 @@ mod tests {
     #[test]
     fn custom_seed_flows_through_prefetch_and_run() {
         let mut lab = Lab::new(test_scale()).quiet().with_seed(7);
-        lab.prefetch(&[WorkloadKind::WebSearch], &[DesignKind::Baseline]);
+        lab.prefetch(&[WorkloadKind::WebSearch], &[DesignSpec::baseline()]);
         assert_eq!(lab.runs_executed(), 1);
-        lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        lab.run(WorkloadKind::WebSearch, DesignSpec::baseline());
         assert_eq!(lab.runs_executed(), 1, "run() must hit the seed-7 grid");
 
         let mut default_seed = Lab::new(test_scale()).quiet();
-        let a = lab.run(WorkloadKind::WebSearch, DesignKind::Baseline);
-        let b = default_seed.run(WorkloadKind::WebSearch, DesignKind::Baseline);
+        let a = lab.run(WorkloadKind::WebSearch, DesignSpec::baseline());
+        let b = default_seed.run(WorkloadKind::WebSearch, DesignSpec::baseline());
         assert_ne!(a.cycles, b.cycles, "different seeds, different replay");
     }
 
     #[test]
     fn prefetched_grid_matches_direct_runs() {
         let mut parallel = Lab::new(test_scale()).quiet().with_threads(4);
-        parallel.prefetch(&[WorkloadKind::DataServing], &[DesignKind::Page { mb: 64 }]);
-        let from_grid = parallel.run(WorkloadKind::DataServing, DesignKind::Page { mb: 64 });
+        parallel.prefetch(&[WorkloadKind::DataServing], &[DesignSpec::page(64)]);
+        let from_grid = parallel.run(WorkloadKind::DataServing, DesignSpec::page(64));
 
         let mut sequential = Lab::new(test_scale()).quiet().with_threads(1);
-        let direct = sequential.run(WorkloadKind::DataServing, DesignKind::Page { mb: 64 });
+        let direct = sequential.run(WorkloadKind::DataServing, DesignSpec::page(64));
         assert_eq!(from_grid, direct);
     }
 }

@@ -1,0 +1,235 @@
+//! An Alloy-style direct-mapped DRAM cache (Qureshi & Loh, MICRO 2012;
+//! see PAPERS.md): tags and data fused into one *TAD* (tag-and-data)
+//! unit streamed out of the stacked DRAM in a single compound burst.
+//!
+//! Where the Loh & Hill block cache pays a MissMap lookup plus a
+//! tag-then-data CAS pair, Alloy collapses the tag probe and the data
+//! transfer into one access to a direct-mapped TAD: hits take one
+//! compound stacked access and nothing else, misses pay the same probe
+//! and then go off-chip. The model here is the predictor-less
+//! serial-access variant (cache probe, then memory), which bounds
+//! Alloy's latency benefit from below while keeping it deterministic.
+
+use fc_types::{BlockAddr, MemAccess, PhysAddr};
+
+use crate::design::{DramCacheModel, DramCacheStats, StorageItem};
+use crate::plan::{AccessPlan, MemOp, MemTarget};
+
+/// Bytes per TAD unit: a 64-byte data block plus an 8-byte tag.
+const TAD_BYTES: u64 = 72;
+/// TADs per 2 KB stacked row (Alloy packs 28, wasting 32 bytes).
+const TADS_PER_ROW: u64 = 28;
+
+/// One direct-mapped TAD slot.
+#[derive(Clone, Copy, Debug)]
+struct Tad {
+    tag: u64,
+    dirty: bool,
+}
+
+/// The Alloy-style direct-mapped tags-in-DRAM cache.
+///
+/// # Examples
+///
+/// ```
+/// use fc_cache::{AlloyCache, DramCacheModel};
+/// use fc_types::{MemAccess, PhysAddr, Pc};
+///
+/// let mut cache = AlloyCache::new(64 << 20);
+/// let a = MemAccess::read(Pc::new(0x400), PhysAddr::new(0x10000), 0);
+/// let miss = cache.access(a);
+/// assert!(!miss.hit); // cold miss probes the TAD, then goes off-chip
+/// let hit = cache.access(a);
+/// assert!(hit.hit); // one compound stacked access, nothing else
+/// assert_eq!(hit.offchip_read_blocks(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AlloyCache {
+    slots: Vec<Option<Tad>>,
+    stats: DramCacheStats,
+}
+
+impl AlloyCache {
+    /// Creates an Alloy cache over `capacity_bytes` of stacked DRAM
+    /// (total DRAM, including the in-row tag overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds no TAD.
+    pub fn new(capacity_bytes: u64) -> Self {
+        let tads = capacity_bytes / TAD_BYTES;
+        assert!(tads > 0, "capacity must hold at least one 72-byte TAD");
+        Self {
+            slots: vec![None; tads as usize],
+            stats: DramCacheStats::default(),
+        }
+    }
+
+    fn decompose(&self, block: BlockAddr) -> (usize, u64) {
+        let tads = self.slots.len() as u64;
+        ((block.raw() % tads) as usize, block.raw() / tads)
+    }
+
+    /// Stacked-DRAM address of a TAD slot, packed 28 per 2 KB row.
+    fn slot_addr(&self, index: usize) -> PhysAddr {
+        let index = index as u64;
+        PhysAddr::new((index / TADS_PER_ROW) * 2048 + (index % TADS_PER_ROW) * TAD_BYTES)
+    }
+
+    fn block_of(&self, index: usize, tag: u64) -> BlockAddr {
+        BlockAddr::new(tag * self.slots.len() as u64 + index as u64)
+    }
+}
+
+impl DramCacheModel for AlloyCache {
+    fn access(&mut self, req: MemAccess) -> AccessPlan {
+        self.stats.accesses += 1;
+        let block = req.addr.block();
+        let (index, tag) = self.decompose(block);
+        // No SRAM structure on the lookup path: the tag rides with the
+        // data in the TAD burst.
+        let mut plan = AccessPlan::tag_only(false, 0);
+        plan.critical.push(MemOp::compound(
+            MemTarget::Stacked,
+            self.slot_addr(index),
+            fc_types::AccessKind::Read,
+        ));
+
+        if matches!(self.slots[index], Some(t) if t.tag == tag) {
+            self.stats.hits += 1;
+            plan.hit = true;
+            self.stats.absorb_plan(&plan);
+            return plan;
+        }
+
+        // Miss: the probe already happened; fetch the block serially
+        // from off-chip memory and fill the slot.
+        self.stats.misses += 1;
+        plan.critical
+            .push(MemOp::read(MemTarget::OffChip, block.base(), 1));
+        if let Some(victim) = self.slots[index].replace(Tad { tag, dirty: false }) {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.dirty_evictions += 1;
+                plan.background.push(MemOp::write(
+                    MemTarget::OffChip,
+                    self.block_of(index, victim.tag).base(),
+                    1,
+                ));
+            }
+        }
+        self.stats.fill_blocks += 1;
+        plan.background.push(MemOp::compound(
+            MemTarget::Stacked,
+            self.slot_addr(index),
+            fc_types::AccessKind::Write,
+        ));
+        self.stats.absorb_plan(&plan);
+        plan
+    }
+
+    fn writeback(&mut self, addr: PhysAddr) -> AccessPlan {
+        let block = addr.block();
+        let (index, tag) = self.decompose(block);
+        let mut plan = AccessPlan::tag_only(false, 0);
+        match &mut self.slots[index] {
+            Some(t) if t.tag == tag => {
+                t.dirty = true;
+                plan.hit = true;
+                plan.background.push(MemOp::compound(
+                    MemTarget::Stacked,
+                    self.slot_addr(index),
+                    fc_types::AccessKind::Write,
+                ));
+            }
+            _ => {
+                // Not cached: write through without allocating.
+                plan.background
+                    .push(MemOp::write(MemTarget::OffChip, block.base(), 1));
+            }
+        }
+        self.stats.absorb_plan(&plan);
+        plan
+    }
+
+    fn stats(&self) -> &DramCacheStats {
+        &self.stats
+    }
+
+    fn storage(&self) -> Vec<StorageItem> {
+        // Tags live in the stacked DRAM: no logic-die SRAM at all.
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Alloy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::OpFlavor;
+    use fc_types::Pc;
+
+    fn read(addr: u64) -> MemAccess {
+        MemAccess::read(Pc::new(0x400), PhysAddr::new(addr), 0)
+    }
+
+    fn small() -> AlloyCache {
+        AlloyCache::new(1 << 20)
+    }
+
+    #[test]
+    fn every_access_is_a_compound_stacked_probe() {
+        let mut c = small();
+        let miss = c.access(read(0x10000));
+        assert!(!miss.hit);
+        assert_eq!(miss.critical[0].flavor, OpFlavor::CompoundTags);
+        assert_eq!(miss.critical[0].target, MemTarget::Stacked);
+        assert_eq!(miss.offchip_read_blocks(), 1);
+
+        let hit = c.access(read(0x10000));
+        assert!(hit.hit);
+        assert_eq!(hit.critical.len(), 1);
+        assert_eq!(hit.critical[0].flavor, OpFlavor::CompoundTags);
+        assert_eq!(hit.offchip_read_blocks(), 0);
+    }
+
+    #[test]
+    fn conflicting_block_evicts_direct_mapped_victim() {
+        let mut c = small();
+        let tads = c.slots.len() as u64;
+        c.access(read(0));
+        c.writeback(PhysAddr::new(0)); // dirty the resident block
+        let plan = c.access(read(tads * 64)); // same slot, different tag
+        assert!(!plan.hit);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 1);
+        assert_eq!(plan.offchip_write_blocks(), 1);
+        // The original block is gone.
+        assert!(!c.access(read(0)).hit);
+    }
+
+    #[test]
+    fn writeback_to_absent_block_goes_off_chip() {
+        let mut c = small();
+        let wb = c.writeback(PhysAddr::new(0x9000));
+        assert!(!wb.hit);
+        assert_eq!(wb.offchip_write_blocks(), 1);
+        assert_eq!(wb.stacked_write_blocks(), 0);
+    }
+
+    #[test]
+    fn slots_pack_28_tads_per_row() {
+        let c = small();
+        assert_eq!(c.slot_addr(0).raw(), 0);
+        assert_eq!(c.slot_addr(27).raw(), 27 * 72);
+        assert_eq!(c.slot_addr(28).raw(), 2048);
+    }
+
+    #[test]
+    fn no_sram_storage() {
+        assert!(small().storage().is_empty());
+    }
+}

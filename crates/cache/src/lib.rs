@@ -21,6 +21,11 @@
 //!   [`HotPageCache`] (CHOP-style filter cache of Section 6.7 [13]),
 //!   [`IdealCache`] (never misses — die-stacked main memory), and
 //!   [`NoCache`] (the baseline system without a DRAM cache).
+//! * Related-work contenders beyond the paper's own baselines (see
+//!   PAPERS.md): [`AlloyCache`] (direct-mapped tags-in-DRAM TAD units),
+//!   [`BansheeCache`] (frequency-based, bandwidth-aware page
+//!   replacement), and [`GeminiCache`] (hybrid direct/set-associative
+//!   mapping with hot-page promotion).
 //!
 //! # Examples
 //!
@@ -37,8 +42,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloy;
+mod banshee;
 mod block;
 mod design;
+mod gemini;
 mod hotpage;
 mod ideal;
 mod missmap;
@@ -48,11 +56,14 @@ mod setassoc;
 mod sram;
 mod subblock;
 
+pub use alloy::AlloyCache;
+pub use banshee::BansheeCache;
 pub use block::BlockBasedCache;
 pub use design::{
     sram_latency_cycles, DensityHistogram, DramCacheModel, DramCacheStats, PredictionCounters,
     StorageItem,
 };
+pub use gemini::GeminiCache;
 pub use hotpage::HotPageCache;
 pub use ideal::{IdealCache, NoCache};
 pub use missmap::MissMap;

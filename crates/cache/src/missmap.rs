@@ -65,7 +65,7 @@ impl MissMap {
     /// Panics if `entries` is not a positive multiple of `ways`.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(
-            entries > 0 && entries % ways == 0,
+            entries > 0 && entries.is_multiple_of(ways),
             "entries must be a positive multiple of ways"
         );
         let bytes = entries as u64 * Self::ENTRY_BITS / 8;

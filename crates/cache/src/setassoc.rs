@@ -112,6 +112,18 @@ impl<V> SetAssoc<V> {
             .map(|e| &e.value)
     }
 
+    /// Mutable lookup of `(set, tag)` without touching LRU state (e.g.,
+    /// aging a replacement-candidate's counter must not refresh its
+    /// recency).
+    pub fn peek_mut(&mut self, set: usize, tag: u64) -> Option<&mut V> {
+        let range = self.set_range(set);
+        self.entries[range]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.tag == tag)
+            .map(|e| &mut e.value)
+    }
+
     /// Inserts `(set, tag) -> value` as most-recently-used. If the tag is
     /// already present, its value is replaced and returned as
     /// `Some((tag, old))`. If the set is full, the LRU victim is evicted

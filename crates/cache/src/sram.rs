@@ -71,7 +71,7 @@ impl SramCache {
     pub fn new(capacity_bytes: usize, ways: usize, hit_latency: u32) -> Self {
         let blocks = capacity_bytes / BLOCK_SIZE;
         assert!(
-            blocks > 0 && blocks % ways == 0,
+            blocks > 0 && blocks.is_multiple_of(ways),
             "capacity must be a positive multiple of ways * 64B"
         );
         Self {

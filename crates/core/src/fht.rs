@@ -49,7 +49,7 @@ impl Fht {
     /// Panics if `entries` is not a positive multiple of `ways`.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(
-            entries > 0 && entries % ways == 0,
+            entries > 0 && entries.is_multiple_of(ways),
             "entries must be a positive multiple of ways"
         );
         Self {

@@ -62,7 +62,7 @@ impl SingletonTable {
     /// Panics if `entries` is not a positive multiple of 8.
     pub fn new(entries: usize) -> Self {
         assert!(
-            entries > 0 && entries % Self::WAYS == 0,
+            entries > 0 && entries.is_multiple_of(Self::WAYS),
             "entries must be a positive multiple of 8"
         );
         Self {

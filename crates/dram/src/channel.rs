@@ -54,6 +54,8 @@ pub struct ChannelStats {
     pub read_blocks: u64,
     /// 64-byte blocks written.
     pub write_blocks: u64,
+    /// Compound (tags-in-DRAM) accesses: tag CAS + data CAS pairs.
+    pub compound_accesses: u64,
 }
 
 /// One DRAM channel: a set of banks sharing a command/data bus, with
@@ -182,6 +184,7 @@ impl Channel {
             let tag_bus = (cas_at + self.t.t_cas).max(self.bus_free_at);
             self.bus_free_at = tag_bus + self.t.t_burst;
             self.stats.read_blocks += 1;
+            self.stats.compound_accesses += 1;
             self.bus_free_at + 1
         } else {
             cas_at

@@ -86,6 +86,12 @@ impl DramConfig {
         }
     }
 
+    /// Bytes of consecutive address space per DRAM row under this
+    /// configuration's mapping (see [`AddressMapping::row_bytes`]).
+    pub fn row_bytes(&self) -> u64 {
+        self.mapping.row_bytes()
+    }
+
     /// Replaces the timing parameters (builder-style).
     pub fn with_timings(mut self, timings: DramTimings) -> Self {
         self.timings = timings;

@@ -64,6 +64,19 @@ impl AddressMapping {
         }
     }
 
+    /// Bytes of consecutive address space that share one DRAM row: the
+    /// granularity at which the plan executor must split multi-row
+    /// transfers. Row-interleaved mappings derive it from `row_shift`;
+    /// block interleaving hard-wires 2 KB rows (32 blocks) in [`map`].
+    ///
+    /// [`map`]: AddressMapping::map
+    pub fn row_bytes(&self) -> u64 {
+        match self {
+            AddressMapping::BlockInterleave { .. } => 2048,
+            AddressMapping::RowInterleave { row_shift, .. } => 1 << row_shift,
+        }
+    }
+
     /// Maps a physical byte address to its DRAM location.
     ///
     /// In both schemes a row holds 2 KB worth of consecutive address space
@@ -135,6 +148,21 @@ mod tests {
         assert_ne!(l0.channel, l1.channel);
         assert_eq!(l0.channel, l4.channel);
         assert_ne!(l0.bank, l4.bank);
+    }
+
+    #[test]
+    fn row_bytes_follow_the_mapping() {
+        let block = AddressMapping::BlockInterleave {
+            channel_bits: 2,
+            bank_bits: 3,
+        };
+        assert_eq!(block.row_bytes(), 2048);
+        let wide = AddressMapping::RowInterleave {
+            channel_bits: 0,
+            bank_bits: 3,
+            row_shift: 12,
+        };
+        assert_eq!(wide.row_bytes(), 4096);
     }
 
     #[test]

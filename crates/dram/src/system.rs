@@ -20,6 +20,9 @@ pub struct DramStats {
     pub read_blocks: u64,
     /// 64-byte blocks written.
     pub write_blocks: u64,
+    /// Compound (tags-in-DRAM) accesses: tag CAS + data CAS pairs, as
+    /// issued by the block-based and Alloy designs.
+    pub compound_accesses: u64,
 }
 
 impl DramStats {
@@ -113,6 +116,7 @@ impl DramSystem {
             s.row_misses += c.row_misses;
             s.read_blocks += c.read_blocks;
             s.write_blocks += c.write_blocks;
+            s.compound_accesses += c.compound_accesses;
         }
         s
     }

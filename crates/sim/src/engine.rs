@@ -7,9 +7,9 @@ use fc_trace::{TraceGenerator, TraceRecord, WorkloadKind};
 use fc_types::AccessKind;
 
 use crate::config::SimConfig;
+use crate::design::DesignSpec;
 use crate::memsys::MemorySystem;
 use crate::report::{ReportSnapshot, SimReport};
-use crate::runner::DesignKind;
 
 #[derive(Clone, Debug, Default)]
 struct CoreState {
@@ -27,7 +27,7 @@ struct CoreState {
 /// the trace internally) or [`run_records`](Simulation::run_records).
 pub struct Simulation {
     config: SimConfig,
-    design: DesignKind,
+    design: DesignSpec,
     cores: Vec<CoreState>,
     l2: SramCache,
     memsys: MemorySystem,
@@ -35,7 +35,7 @@ pub struct Simulation {
 
 impl Simulation {
     /// Builds the pod for `design`.
-    pub fn new(config: SimConfig, design: DesignKind) -> Self {
+    pub fn new(config: SimConfig, design: DesignSpec) -> Self {
         let memsys = design.build();
         Self {
             config,
@@ -52,7 +52,7 @@ impl Simulation {
     }
 
     /// The design under simulation.
-    pub fn design(&self) -> DesignKind {
+    pub fn design(&self) -> DesignSpec {
         self.design
     }
 
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn instructions_advance_core_clock() {
-        let mut sim = Simulation::new(SimConfig::small(), DesignKind::Baseline);
+        let mut sim = Simulation::new(SimConfig::small(), DesignSpec::baseline());
         sim.step(&record(0, 0x1000, 100));
         sim.drain();
         assert!(sim.total_cycles() >= 100);
@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn l2_hit_avoids_dram() {
-        let mut sim = Simulation::new(SimConfig::small(), DesignKind::Baseline);
+        let mut sim = Simulation::new(SimConfig::small(), DesignSpec::baseline());
         sim.step(&record(0, 0x1000, 10));
         sim.step(&record(0, 0x1000, 10));
         assert_eq!(sim.memsys().offchip_stats().read_blocks, 1);
@@ -208,13 +208,13 @@ mod tests {
         // Two independent misses (different DRAM banks) issued back to
         // back overlap: total time is far less than twice the miss
         // latency.
-        let mut sim = Simulation::new(SimConfig::small(), DesignKind::Baseline);
+        let mut sim = Simulation::new(SimConfig::small(), DesignSpec::baseline());
         sim.step(&record(0, 0x10000, 1));
         sim.step(&record(0, 0x10040, 1)); // adjacent block -> next bank
         sim.drain();
         let t2 = sim.total_cycles();
 
-        let mut solo = Simulation::new(SimConfig::small(), DesignKind::Baseline);
+        let mut solo = Simulation::new(SimConfig::small(), DesignSpec::baseline());
         solo.step(&record(0, 0x10000, 1));
         solo.drain();
         let t1 = solo.total_cycles();
@@ -229,13 +229,13 @@ mod tests {
         // A miss more than a ROB window of instructions later cannot
         // overlap with its predecessor.
         let cfg = SimConfig::small();
-        let mut sim = Simulation::new(cfg, DesignKind::Baseline);
+        let mut sim = Simulation::new(cfg, DesignSpec::baseline());
         sim.step(&record(0, 0x10000, 1));
         sim.step(&record(0, 0x10040, (cfg.rob_window + 10) as u32));
         sim.drain();
         let serial = sim.total_cycles();
 
-        let mut overlapped = Simulation::new(cfg, DesignKind::Baseline);
+        let mut overlapped = Simulation::new(cfg, DesignSpec::baseline());
         overlapped.step(&record(0, 0x10000, 1));
         overlapped.step(&record(0, 0x10040, 1));
         overlapped.drain();
@@ -244,7 +244,7 @@ mod tests {
 
     #[test]
     fn cores_progress_independently() {
-        let mut sim = Simulation::new(SimConfig::small(), DesignKind::Baseline);
+        let mut sim = Simulation::new(SimConfig::small(), DesignSpec::baseline());
         sim.step(&record(0, 0x1000, 50));
         sim.step(&record(1, 0x2000, 10));
         assert_eq!(sim.total_insts(), 60);

@@ -18,13 +18,20 @@
 //! traffic/energy accounting. L2 dirty victims become writebacks, which
 //! dirty DRAM-cache blocks or go straight off-chip.
 //!
+//! Designs are *data*: a [`DesignSpec`] (cache model + stacked and
+//! off-chip DRAM specs + row policy) describes a memory system, the
+//! [`registry`] resolves design names to specs, and
+//! [`Simulation::new`] builds the pod from a spec. Specs serialize to
+//! JSON and hash stably, which is what `fc_sweep` keys its memoized
+//! result store on.
+//!
 //! # Examples
 //!
 //! ```no_run
-//! use fc_sim::{DesignKind, SimConfig, Simulation};
+//! use fc_sim::{DesignSpec, SimConfig, Simulation};
 //! use fc_trace::WorkloadKind;
 //!
-//! let report = Simulation::new(SimConfig::default(), DesignKind::Footprint { mb: 256 })
+//! let report = Simulation::new(SimConfig::default(), DesignSpec::footprint(256))
 //!     .run_workload(WorkloadKind::WebSearch, 42, 200_000, 400_000);
 //! println!("miss ratio {:.1}%", report.cache.miss_ratio() * 100.0);
 //! ```
@@ -34,13 +41,16 @@
 
 pub mod analysis;
 mod config;
+mod design;
 mod engine;
+pub mod json;
 mod memsys;
+pub mod registry;
 mod report;
-mod runner;
 
 pub use config::SimConfig;
+pub use design::{CacheSpec, DesignSpec, DramPreset, DramSpec};
 pub use engine::Simulation;
 pub use memsys::MemorySystem;
+pub use registry::{design_family, resolve_designs, DesignFamily, DESIGN_FAMILIES};
 pub use report::{EnergyReport, SimReport};
-pub use runner::DesignKind;

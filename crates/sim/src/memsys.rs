@@ -3,11 +3,7 @@
 
 use fc_cache::{AccessPlan, DramCacheModel, MemOp, MemTarget, OpFlavor};
 use fc_dram::{DramConfig, DramStats, DramSystem, EnergyBreakdown};
-use fc_types::{MemAccess, PhysAddr};
-
-/// Blocks per 2 KB DRAM row: transfers larger than this are split into
-/// per-row chunks by the executor.
-const ROW_BLOCKS: u32 = 32;
+use fc_types::{MemAccess, PhysAddr, BLOCK_SIZE};
 
 /// A complete pod memory system below the L2.
 pub struct MemorySystem {
@@ -89,8 +85,10 @@ impl MemorySystem {
     }
 
     /// Runs one op, splitting multi-row transfers at row boundaries.
-    /// Returns when the *first* block's data is available (critical-block-
-    /// first for demand fetches).
+    /// The row size comes from the target DRAM's configuration, so
+    /// designs with non-2 KB row geometries split correctly. Returns
+    /// when the *first* block's data is available (critical-block-first
+    /// for demand fetches).
     fn run_op(&mut self, op: &MemOp, at: u64) -> u64 {
         let sys = match op.target {
             MemTarget::Stacked => self
@@ -99,23 +97,26 @@ impl MemorySystem {
                 .expect("design issued a stacked op but no stacked DRAM is configured"),
             MemTarget::OffChip => &mut self.offchip,
         };
+        let row_bytes = sys.config().row_bytes();
+        let row_blocks = (row_bytes / BLOCK_SIZE as u64) as u32;
         // First chunk: up to the end of the addressed row.
-        let offset_blocks = ((op.addr.raw() % 2048) / 64) as u32;
+        let offset_blocks = ((op.addr.raw() % row_bytes) / BLOCK_SIZE as u64) as u32;
         let first_chunk = op
             .blocks
-            .min(ROW_BLOCKS - offset_blocks.min(ROW_BLOCKS - 1));
+            .min(row_blocks - offset_blocks.min(row_blocks - 1));
         let completion = match op.flavor {
             OpFlavor::CompoundTags => sys.access_compound(op.addr, op.kind, first_chunk, at),
             OpFlavor::Simple => sys.access(op.addr, op.kind, first_chunk, at),
         };
-        // Remaining rows (4 KB pages span two 2 KB rows): streamed after
-        // the first chunk, off the critical path of the demanded block.
+        // Remaining rows (e.g., a 4 KB page spans two 2 KB rows):
+        // streamed after the first chunk, off the critical path of the
+        // demanded block.
         let mut done = op.blocks - first_chunk;
-        let mut addr = op.addr.raw() + first_chunk as u64 * 64;
+        let mut addr = op.addr.raw() + first_chunk as u64 * BLOCK_SIZE as u64;
         while done > 0 {
-            let chunk = done.min(ROW_BLOCKS);
+            let chunk = done.min(row_blocks);
             sys.access(PhysAddr::new(addr), op.kind, chunk, at);
-            addr += chunk as u64 * 64;
+            addr += chunk as u64 * BLOCK_SIZE as u64;
             done -= chunk;
         }
         completion.data_ready
@@ -191,6 +192,31 @@ mod tests {
         assert_eq!(m.offchip_stats().read_blocks, 64);
         // Two activations for the two off-chip rows of the 4 KB page.
         assert_eq!(m.offchip_stats().activates, 2);
+    }
+
+    #[test]
+    fn row_size_derives_from_the_target_config() {
+        // Off-chip DRAM with 4 KB rows: a whole 4 KB page transfer is a
+        // single activation, not the two a hardcoded 2 KB split would
+        // produce.
+        use fc_dram::AddressMapping;
+        let wide_rows = DramConfig {
+            mapping: AddressMapping::RowInterleave {
+                channel_bits: 0,
+                bank_bits: 3,
+                row_shift: 12,
+            },
+            ..DramConfig::off_chip_open_row()
+        };
+        assert_eq!(wide_rows.row_bytes(), 4096);
+        let mut m = MemorySystem::new(
+            Box::new(PageBasedCache::new(1 << 20, PageGeometry::new(4096))),
+            Some(DramConfig::stacked_ddr3_3200()),
+            wide_rows,
+        );
+        m.demand_access(read(0x10000), 0);
+        assert_eq!(m.offchip_stats().read_blocks, 64);
+        assert_eq!(m.offchip_stats().activates, 1, "one 4 KB row, one ACT");
     }
 
     #[test]

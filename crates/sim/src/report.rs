@@ -205,6 +205,7 @@ fn diff_dram(now: &DramStats, since: &DramStats) -> DramStats {
         row_misses: now.row_misses - since.row_misses,
         read_blocks: now.read_blocks - since.read_blocks,
         write_blocks: now.write_blocks - since.write_blocks,
+        compound_accesses: now.compound_accesses - since.compound_accesses,
     }
 }
 

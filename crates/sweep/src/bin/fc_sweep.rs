@@ -2,22 +2,24 @@
 //!
 //! ```sh
 //! fc_sweep --grid fig4                      # Figure 4 grid, quick scale, all cores
-//! fc_sweep --grid designspace --threads 8   # every design x capacity x workload
+//! fc_sweep --grid designspace --threads 8   # the whole design registry x capacity x workload
 //! fc_sweep --grid fig4 --speedup            # parallel run + sequential rerun, verified identical
-//! fc_sweep --designs page,footprint --capacities 64,256 --workloads "web search" \
-//!          --csv out.csv --json out.json
+//! fc_sweep --list-designs                   # print the design-family catalogue
+//! fc_sweep --designs page,footprint,alloy --capacities 64,256 --workloads "web search" \
+//!          --csv out.csv --json out.json --bench BENCH.json
 //! ```
 
 use std::io::Write;
 use std::time::Instant;
 
-use fc_sweep::{emit, DesignKind, RunScale, SweepEngine, SweepResult, SweepSpec, WorkloadKind};
+use fc_sim::registry::{resolve_designs, DESIGN_FAMILIES};
+use fc_sweep::{emit, DesignSpec, RunScale, SweepEngine, SweepResult, SweepSpec, WorkloadKind};
 
 const USAGE: &str = "\
 usage: fc_sweep [options]
   --grid NAME        preset grid: fig4 | fig5 | fig67 | designspace (default fig4)
-  --designs LIST     comma list: baseline,block,page,footprint,subblock,hotpage,
-                     pagedirty,ideal,ideallow (overrides the preset's designs)
+  --designs LIST     comma list of design families from the registry
+                     (see --list-designs); overrides the preset's designs
   --capacities LIST  comma list of MB values (default 64,128,256,512)
   --workloads LIST   comma list of workload names (default: all six)
   --scale NAME       quick | full | tiny (default quick)
@@ -27,7 +29,10 @@ usage: fc_sweep [options]
                      the parallel and sequential results are identical
   --json PATH        write results as JSON
   --csv PATH         write results as CSV
+  --bench PATH       write a benchmark summary (per-design points/sec,
+                     speedup) as JSON, e.g. BENCH_designspace.json
   --list             print the grid points and exit
+  --list-designs     print the design-family catalogue and exit
   --quiet            suppress per-point progress lines
   --help             this text";
 
@@ -53,33 +58,13 @@ fn parse_workloads(list: &str) -> Vec<WorkloadKind> {
         .collect()
 }
 
-/// Expands design family names against the capacity list.
-fn parse_designs(list: &str, capacities: &[u64]) -> Vec<DesignKind> {
-    let mut designs = Vec::new();
-    for name in list.split(',') {
-        match name.trim().to_ascii_lowercase().as_str() {
-            "baseline" => designs.push(DesignKind::Baseline),
-            "ideal" => designs.push(DesignKind::Ideal),
-            "ideallow" => designs.push(DesignKind::IdealLowLatency),
-            "block" => designs.extend(capacities.iter().map(|&mb| DesignKind::Block { mb })),
-            "page" => designs.extend(capacities.iter().map(|&mb| DesignKind::Page { mb })),
-            "footprint" => {
-                designs.extend(capacities.iter().map(|&mb| DesignKind::Footprint { mb }))
-            }
-            "subblock" => designs.extend(capacities.iter().map(|&mb| DesignKind::SubBlock { mb })),
-            "hotpage" => designs.extend(capacities.iter().map(|&mb| DesignKind::HotPage { mb })),
-            "pagedirty" => designs.extend(
-                capacities
-                    .iter()
-                    .map(|&mb| DesignKind::PageDirtyBlockWb { mb }),
-            ),
-            other => fail(&format!("unknown design `{other}`")),
-        }
-    }
-    designs
+/// Expands design family names against the capacity list, through the
+/// design registry.
+fn parse_designs(list: &str, capacities: &[u64]) -> Vec<DesignSpec> {
+    resolve_designs(list, capacities).unwrap_or_else(|e| fail(&e))
 }
 
-fn preset_designs(grid: &str, capacities: &[u64]) -> Vec<DesignKind> {
+fn preset_designs(grid: &str, capacities: &[u64]) -> Vec<DesignSpec> {
     match grid {
         // Figure 4 measures page access density on the page-based cache
         // across capacities.
@@ -89,11 +74,28 @@ fn preset_designs(grid: &str, capacities: &[u64]) -> Vec<DesignKind> {
         "fig5" => parse_designs("baseline,page,footprint,block", capacities),
         // Figures 6/7: performance improvement incl. the ideal bound.
         "fig67" => parse_designs("baseline,ideal,block,page,footprint", capacities),
-        "designspace" => parse_designs(
-            "baseline,block,page,footprint,subblock,hotpage,pagedirty,ideal,ideallow",
-            capacities,
-        ),
+        // The whole registry: every family the reproduction knows.
+        "designspace" => {
+            let names: Vec<&str> = DESIGN_FAMILIES.iter().map(|f| f.name).collect();
+            parse_designs(&names.join(","), capacities)
+        }
         other => fail(&format!("unknown grid `{other}`")),
+    }
+}
+
+fn print_design_catalogue() {
+    println!("{:<12} {:<9} summary", "family", "capacity");
+    for f in DESIGN_FAMILIES {
+        println!(
+            "{:<12} {:<9} {}",
+            f.name,
+            if f.scales_with_capacity {
+                "scaled"
+            } else {
+                "fixed"
+            },
+            f.summary
+        );
     }
 }
 
@@ -140,7 +142,9 @@ fn main() {
     let mut speedup = false;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
     let mut list_only = false;
+    let mut list_designs = false;
     let mut quiet = false;
 
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -191,7 +195,9 @@ fn main() {
             "--speedup" => speedup = true,
             "--json" => json_path = Some(value(&mut args, "--json")),
             "--csv" => csv_path = Some(value(&mut args, "--csv")),
+            "--bench" => bench_path = Some(value(&mut args, "--bench")),
             "--list" => list_only = true,
+            "--list-designs" => list_designs = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -199,6 +205,11 @@ fn main() {
             }
             other => fail(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if list_designs {
+        print_design_catalogue();
+        return;
     }
 
     let designs = match &designs_arg {
@@ -252,6 +263,7 @@ fn main() {
 
     print_summary(&results);
 
+    let mut speedup_summary: Option<emit::SpeedupSummary> = None;
     if speedup {
         // Fresh engine, fresh store: a true sequential baseline.
         let seq_engine = SweepEngine::new().with_threads(1).quiet();
@@ -272,6 +284,11 @@ fn main() {
         if !identical {
             std::process::exit(1);
         }
+        speedup_summary = Some(emit::SpeedupSummary {
+            sequential_secs: seq_secs,
+            parallel_secs,
+            threads: workers,
+        });
     }
 
     if let Some(path) = &json_path {
@@ -279,5 +296,11 @@ fn main() {
     }
     if let Some(path) = &csv_path {
         write_file(path, &emit::to_csv(&results));
+    }
+    if let Some(path) = &bench_path {
+        write_file(
+            path,
+            &emit::to_bench_json(&grid, &results, parallel_secs, speedup_summary),
+        );
     }
 }

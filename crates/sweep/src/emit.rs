@@ -6,22 +6,8 @@
 
 use crate::executor::SweepResult;
 
-/// Escapes a string for a JSON value position.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+// One escaper for the whole workspace: the spec layer's.
+use fc_sim::json::escape as json_escape;
 
 /// Formats an f64 as a JSON-safe number literal.
 fn json_num(x: f64) -> String {
@@ -62,6 +48,7 @@ pub fn to_json(results: &[SweepResult]) -> String {
              \"stacked_bytes_per_inst\": {sbpi}, \
              \"offchip_energy_nj\": {oe}, \"stacked_energy_nj\": {se}, \
              \"stacked_row_hit_ratio\": {rh}, \
+             \"stacked_compound_accesses\": {compound}, \
              \"prediction\": {prediction}}}{comma}\n",
             workload = json_escape(&p.workload.to_string()),
             design = json_escape(&p.design.label()),
@@ -80,6 +67,7 @@ pub fn to_json(results: &[SweepResult]) -> String {
             oe = json_num(rep.offchip_energy.total_nj()),
             se = json_num(rep.stacked_energy.total_nj()),
             rh = json_num(rep.stacked.row_hit_ratio()),
+            compound = rep.stacked.compound_accesses,
             comma = if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -138,15 +126,125 @@ fn stacked_bytes_per_inst(rep: &fc_sim::SimReport) -> f64 {
     }
 }
 
+/// Parallel-speedup numbers for [`to_bench_json`].
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedupSummary {
+    /// Wall seconds of the sequential rerun.
+    pub sequential_secs: f64,
+    /// Wall seconds of the parallel run.
+    pub parallel_secs: f64,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+}
+
+/// Renders a benchmark summary for a finished grid: per-design
+/// simulation throughput (points and simulated points/sec), each
+/// design's geomean performance speedup over the grid's baseline
+/// runs (when the grid includes the baseline), and the parallel-vs-
+/// sequential engine speedup when one was measured. CI emits this as
+/// `BENCH_designspace.json` so the perf trajectory of every design is
+/// tracked per commit.
+pub fn to_bench_json(
+    grid: &str,
+    results: &[SweepResult],
+    wall_secs: f64,
+    speedup: Option<SpeedupSummary>,
+) -> String {
+    // Baseline throughput per workload, for performance-speedup rows.
+    let baseline: Vec<(String, f64)> = results
+        .iter()
+        .filter(|r| r.point.design.label() == "Baseline")
+        .map(|r| (r.point.workload.to_string(), r.report.throughput()))
+        .collect();
+
+    // Group by design label, preserving first-seen order.
+    let mut order: Vec<String> = Vec::new();
+    for r in results {
+        let label = r.point.design.label();
+        if !order.contains(&label) {
+            order.push(label);
+        }
+    }
+
+    let mut designs = String::new();
+    for (i, label) in order.iter().enumerate() {
+        let group: Vec<&SweepResult> = results
+            .iter()
+            .filter(|r| r.point.design.label() == *label)
+            .collect();
+        let simulated: Vec<&&SweepResult> = group.iter().filter(|r| !r.memoized).collect();
+        let sim_secs: f64 = simulated.iter().map(|r| r.sim_secs).sum();
+        let points_per_sec = if sim_secs > 0.0 {
+            simulated.len() as f64 / sim_secs
+        } else {
+            0.0
+        };
+        let ratios: Vec<f64> = group
+            .iter()
+            .filter_map(|r| {
+                let workload = r.point.workload.to_string();
+                baseline
+                    .iter()
+                    .find(|(w, _)| *w == workload)
+                    .map(|(_, base)| r.report.throughput() / base)
+            })
+            .collect();
+        let speedup_vs_baseline = if ratios.is_empty() {
+            "null".to_string()
+        } else {
+            json_num(fc_types::geomean(&ratios))
+        };
+        designs.push_str(&format!(
+            "    {{\"design\": \"{}\", \"points\": {}, \"simulated\": {}, \
+             \"sim_secs\": {}, \"points_per_sec\": {}, \
+             \"geomean_speedup_vs_baseline\": {}}}{}\n",
+            json_escape(label),
+            group.len(),
+            simulated.len(),
+            json_num(sim_secs),
+            json_num(points_per_sec),
+            speedup_vs_baseline,
+            if i + 1 == order.len() { "" } else { "," },
+        ));
+    }
+
+    let speedup_json = match speedup {
+        Some(s) => format!(
+            "{{\"sequential_secs\": {}, \"parallel_secs\": {}, \"threads\": {}, \
+             \"factor\": {}}}",
+            json_num(s.sequential_secs),
+            json_num(s.parallel_secs),
+            s.threads,
+            json_num(s.sequential_secs / s.parallel_secs.max(1e-9)),
+        ),
+        None => "null".to_string(),
+    };
+    let total_per_sec = if wall_secs > 0.0 {
+        results.len() as f64 / wall_secs
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"grid\": \"{}\",\n  \"total_points\": {},\n  \"wall_secs\": {},\n  \
+         \"points_per_sec\": {},\n  \"parallel_speedup\": {},\n  \"designs\": [\n{}  ]\n}}\n",
+        json_escape(grid),
+        results.len(),
+        json_num(wall_secs),
+        json_num(total_per_sec),
+        speedup_json,
+        designs,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DesignKind, RunScale, SweepEngine, SweepSpec, WorkloadKind};
+    use crate::{DesignSpec, RunScale, SweepEngine, SweepSpec, WorkloadKind};
 
     fn sample_results() -> Vec<SweepResult> {
         let spec = SweepSpec::new(RunScale::tiny()).grid(
             &[WorkloadKind::WebSearch],
-            &[DesignKind::Baseline, DesignKind::Footprint { mb: 64 }],
+            &[DesignSpec::baseline(), DesignSpec::footprint(64)],
         );
         SweepEngine::new().with_threads(1).quiet().run_spec(&spec)
     }
@@ -183,5 +281,37 @@ mod tests {
     #[test]
     fn json_escapes_control_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn bench_json_summarizes_per_design() {
+        let results = sample_results();
+        let bench = to_bench_json(
+            "test-grid",
+            &results,
+            1.0,
+            Some(SpeedupSummary {
+                sequential_secs: 2.0,
+                parallel_secs: 1.0,
+                threads: 2,
+            }),
+        );
+        assert!(bench.contains("\"grid\": \"test-grid\""));
+        assert!(bench.contains("\"design\": \"Baseline\""));
+        assert!(bench.contains("\"design\": \"Footprint 64MB\""));
+        assert!(bench.contains("\"points_per_sec\""));
+        assert!(bench.contains("\"factor\": 2"));
+        // The grid includes the baseline, so speedups are reported.
+        assert!(!bench.contains("\"geomean_speedup_vs_baseline\": null"));
+    }
+
+    #[test]
+    fn bench_json_without_speedup_or_baseline() {
+        let spec = SweepSpec::new(RunScale::tiny())
+            .grid(&[WorkloadKind::WebSearch], &[DesignSpec::alloy(64)]);
+        let results = SweepEngine::new().with_threads(1).quiet().run_spec(&spec);
+        let bench = to_bench_json("alloy-only", &results, 0.5, None);
+        assert!(bench.contains("\"parallel_speedup\": null"));
+        assert!(bench.contains("\"geomean_speedup_vs_baseline\": null"));
     }
 }

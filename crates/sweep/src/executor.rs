@@ -17,6 +17,12 @@ pub struct SweepResult {
     pub point: SweepPoint,
     /// Its (possibly memoized) report.
     pub report: Arc<SimReport>,
+    /// Wall-clock seconds this worker spent obtaining the report
+    /// (near zero for memoized points). Timing only — never part of
+    /// the deterministic result.
+    pub sim_secs: f64,
+    /// Whether the report came from the memo store.
+    pub memoized: bool,
 }
 
 /// The self-balancing parallel executor (a shared work queue, not
@@ -101,14 +107,15 @@ impl SweepEngine {
     pub fn run_spec(&self, spec: &SweepSpec) -> Vec<SweepResult> {
         let points = spec.points();
         let progress = Progress::new(points.len(), self.verbose);
-        let slots: Vec<OnceLock<Arc<SimReport>>> = points.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<(Arc<SimReport>, f64, bool)>> =
+            points.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
 
         let workers = self.threads.min(points.len()).max(1);
         if workers == 1 {
             for (point, slot) in points.iter().zip(&slots) {
-                let report = self.run_point_tracked(point, &progress);
-                slot.set(report).expect("slot written once");
+                let outcome = self.run_point_tracked(point, &progress);
+                slot.set(outcome).expect("slot written once");
             }
         } else {
             std::thread::scope(|scope| {
@@ -118,8 +125,8 @@ impl SweepEngine {
                         let Some(point) = points.get(index) else {
                             break;
                         };
-                        let report = self.run_point_tracked(point, &progress);
-                        slots[index].set(report).expect("slot written once");
+                        let outcome = self.run_point_tracked(point, &progress);
+                        slots[index].set(outcome).expect("slot written once");
                     });
                 }
             });
@@ -128,9 +135,14 @@ impl SweepEngine {
         points
             .iter()
             .zip(slots)
-            .map(|(point, slot)| SweepResult {
-                point: *point,
-                report: slot.into_inner().expect("every point ran"),
+            .map(|(point, slot)| {
+                let (report, sim_secs, memoized) = slot.into_inner().expect("every point ran");
+                SweepResult {
+                    point: *point,
+                    report,
+                    sim_secs,
+                    memoized,
+                }
             })
             .collect()
     }
@@ -141,12 +153,18 @@ impl SweepEngine {
             .get_or_compute(&point.key(), || self.simulate(point))
     }
 
-    fn run_point_tracked(&self, point: &SweepPoint, progress: &Progress) -> Arc<SimReport> {
+    fn run_point_tracked(
+        &self,
+        point: &SweepPoint,
+        progress: &Progress,
+    ) -> (Arc<SimReport>, f64, bool) {
         let key = point.key();
         let memoized = self.store.get(&key).is_some();
+        let started = std::time::Instant::now();
         let report = self.store.get_or_compute(&key, || self.simulate(point));
+        let sim_secs = started.elapsed().as_secs_f64();
         progress.finish_point(&point.label(), memoized);
-        report
+        (report, sim_secs, memoized)
     }
 
     /// Simulates one point from scratch. Replays the shared cached
@@ -182,13 +200,13 @@ impl SweepEngine {
 mod tests {
     use super::*;
     use crate::scale::RunScale;
-    use fc_sim::DesignKind;
+    use fc_sim::DesignSpec;
     use fc_trace::WorkloadKind;
 
     fn tiny_spec() -> SweepSpec {
         SweepSpec::new(RunScale::tiny()).grid(
             &[WorkloadKind::WebSearch, WorkloadKind::DataServing],
-            &[DesignKind::Baseline, DesignKind::Footprint { mb: 64 }],
+            &[DesignSpec::baseline(), DesignSpec::footprint(64)],
         )
     }
 
@@ -220,8 +238,8 @@ mod tests {
 
     #[test]
     fn cached_trace_path_equals_streaming_path() {
-        let spec = SweepSpec::new(RunScale::tiny())
-            .point(WorkloadKind::MapReduce, DesignKind::Page { mb: 64 });
+        let spec =
+            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::MapReduce, DesignSpec::page(64));
         // Budget of zero forces the streaming fallback.
         let streamed = SweepEngine::new()
             .with_threads(1)
@@ -237,9 +255,9 @@ mod tests {
         let spec = SweepSpec::new(RunScale::tiny()).grid(
             &[WorkloadKind::WebSearch],
             &[
-                DesignKind::Baseline,
-                DesignKind::Page { mb: 64 },
-                DesignKind::Footprint { mb: 64 },
+                DesignSpec::baseline(),
+                DesignSpec::page(64),
+                DesignSpec::footprint(64),
             ],
         );
         let engine = SweepEngine::new().with_threads(1).quiet();

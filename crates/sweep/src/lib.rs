@@ -6,7 +6,7 @@
 //! reproduction's scaling substrate:
 //!
 //! * [`SweepSpec`] — a declarative description of a grid of sweep
-//!   points: cross products of [`DesignKind`]s and [`WorkloadKind`]s at
+//!   points: cross products of [`DesignSpec`]s and [`WorkloadKind`]s at
 //!   a [`RunScale`], with per-point [`SimConfig`] overrides.
 //! * [`SweepEngine`] — a self-balancing parallel executor: worker
 //!   threads claim points from a shared cursor and run each as an independent
@@ -31,13 +31,13 @@
 //! # Examples
 //!
 //! ```
-//! use fc_sim::DesignKind;
+//! use fc_sim::DesignSpec;
 //! use fc_sweep::{RunScale, SweepEngine, SweepSpec};
 //! use fc_trace::WorkloadKind;
 //!
 //! let spec = SweepSpec::new(RunScale::tiny()).grid(
 //!     &[WorkloadKind::WebSearch],
-//!     &[DesignKind::Baseline, DesignKind::Footprint { mb: 64 }],
+//!     &[DesignSpec::baseline(), DesignSpec::footprint(64)],
 //! );
 //! let engine = SweepEngine::new().with_threads(2).quiet();
 //! let results = engine.run_spec(&spec);
@@ -64,5 +64,5 @@ pub use store::{PointKey, ResultStore};
 pub use trace_cache::TraceCache;
 
 // Re-exported so sweep callers can describe grids without extra deps.
-pub use fc_sim::{DesignKind, SimConfig};
+pub use fc_sim::{DesignSpec, SimConfig};
 pub use fc_trace::WorkloadKind;

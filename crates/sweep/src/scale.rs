@@ -20,6 +20,21 @@ pub struct RunScale {
 }
 
 impl RunScale {
+    /// Run-sizing capacity (in MB) for capacity-independent designs
+    /// (baseline, ideal): the smallest capacity the paper evaluates, so
+    /// sweeps give those designs run lengths comparable with the
+    /// smallest cached configuration instead of an arbitrary budget.
+    /// This is a *sizing* default only — it never reaches the designs
+    /// themselves (they have no capacity to configure).
+    pub const COMPARABLE_CAPACITY_MB: u64 = 64;
+
+    /// The capacity used for run sizing: the design's own capacity, or
+    /// [`COMPARABLE_CAPACITY_MB`](Self::COMPARABLE_CAPACITY_MB) for
+    /// capacity-independent designs.
+    pub fn sizing_capacity(capacity_mb: Option<u64>) -> u64 {
+        capacity_mb.unwrap_or(Self::COMPARABLE_CAPACITY_MB)
+    }
+
     /// The scale used for the checked-in experiment outputs.
     pub fn full() -> Self {
         Self {
@@ -79,5 +94,11 @@ mod tests {
         let s = RunScale::tiny();
         assert_eq!(s.warmup(64), s.warmup(512));
         assert_eq!(s.measured(64), s.measured(512));
+    }
+
+    #[test]
+    fn sizing_defaults_capacity_less_designs_to_the_smallest_evaluated() {
+        assert_eq!(RunScale::sizing_capacity(None), 64);
+        assert_eq!(RunScale::sizing_capacity(Some(256)), 256);
     }
 }

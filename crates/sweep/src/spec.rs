@@ -1,6 +1,6 @@
 //! Declarative sweep descriptions: points and grids.
 
-use fc_sim::{DesignKind, SimConfig};
+use fc_sim::{DesignSpec, SimConfig};
 use fc_trace::WorkloadKind;
 
 use crate::scale::RunScale;
@@ -14,7 +14,7 @@ pub struct SweepPoint {
     /// Workload replayed through the pod.
     pub workload: WorkloadKind,
     /// Memory-system design under evaluation.
-    pub design: DesignKind,
+    pub design: DesignSpec,
     /// Pod configuration (cores, L2, MLP model).
     pub config: SimConfig,
     /// Run sizing.
@@ -32,9 +32,11 @@ impl SweepPoint {
         self.base_seed ^ (self.workload as u64) << 8
     }
 
-    /// Stacked capacity in MB used for run sizing.
+    /// Stacked capacity in MB used for run sizing. Capacity-independent
+    /// designs (baseline, ideal) size their runs with
+    /// [`RunScale::COMPARABLE_CAPACITY_MB`].
     pub fn capacity_mb(&self) -> u64 {
-        self.design.capacity_mb()
+        RunScale::sizing_capacity(self.design.capacity_mb())
     }
 
     /// Warmup records for this point.
@@ -53,13 +55,18 @@ impl SweepPoint {
     }
 
     /// The canonical text encoding of everything that influences this
-    /// point's result. The `Debug` forms cover every field of the
-    /// design (including custom footprint configs), the pod config and
-    /// the scale, so distinct configurations never alias.
+    /// point's result. The design contributes its canonical JSON spec
+    /// (every cache parameter and DRAM override); the `Debug` forms
+    /// cover the pod config and the scale. Distinct configurations
+    /// never alias.
     pub fn canonical(&self) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{:?}|{}",
-            self.workload, self.design, self.config, self.scale, self.base_seed
+            "{:?}|{}|{:?}|{:?}|{}",
+            self.workload,
+            self.design.to_json(),
+            self.config,
+            self.scale,
+            self.base_seed
         )
     }
 
@@ -75,16 +82,16 @@ impl SweepPoint {
 /// [`SweepEngine::run_spec`](crate::SweepEngine::run_spec):
 ///
 /// ```
-/// use fc_sim::DesignKind;
+/// use fc_sim::DesignSpec;
 /// use fc_sweep::{RunScale, SweepSpec};
 /// use fc_trace::WorkloadKind;
 ///
 /// let spec = SweepSpec::new(RunScale::quick())
 ///     .grid(
 ///         &WorkloadKind::ALL,
-///         &[DesignKind::Page { mb: 64 }, DesignKind::Page { mb: 128 }],
+///         &[DesignSpec::page(64), DesignSpec::page(128)],
 ///     )
-///     .point(WorkloadKind::WebSearch, DesignKind::Baseline);
+///     .point(WorkloadKind::WebSearch, DesignSpec::baseline());
 /// assert_eq!(spec.len(), 13);
 /// ```
 #[derive(Clone, Debug)]
@@ -123,7 +130,7 @@ impl SweepSpec {
     }
 
     /// Appends the full cross product `workloads × designs`.
-    pub fn grid(mut self, workloads: &[WorkloadKind], designs: &[DesignKind]) -> Self {
+    pub fn grid(mut self, workloads: &[WorkloadKind], designs: &[DesignSpec]) -> Self {
         for &workload in workloads {
             for &design in designs {
                 self = self.point(workload, design);
@@ -133,7 +140,7 @@ impl SweepSpec {
     }
 
     /// Appends a single point.
-    pub fn point(mut self, workload: WorkloadKind, design: DesignKind) -> Self {
+    pub fn point(mut self, workload: WorkloadKind, design: DesignSpec) -> Self {
         self.points.push(SweepPoint {
             workload,
             design,
@@ -178,9 +185,9 @@ mod tests {
         let spec = SweepSpec::new(RunScale::tiny()).grid(
             &[WorkloadKind::WebSearch, WorkloadKind::MapReduce],
             &[
-                DesignKind::Baseline,
-                DesignKind::Footprint { mb: 64 },
-                DesignKind::Footprint { mb: 128 },
+                DesignSpec::baseline(),
+                DesignSpec::footprint(64),
+                DesignSpec::footprint(128),
             ],
         );
         assert_eq!(spec.len(), 6);
@@ -189,9 +196,9 @@ mod tests {
     #[test]
     fn equal_points_share_keys_distinct_points_do_not() {
         let spec = SweepSpec::new(RunScale::tiny())
-            .point(WorkloadKind::WebSearch, DesignKind::Footprint { mb: 64 })
-            .point(WorkloadKind::WebSearch, DesignKind::Footprint { mb: 64 })
-            .point(WorkloadKind::WebSearch, DesignKind::Footprint { mb: 128 });
+            .point(WorkloadKind::WebSearch, DesignSpec::footprint(64))
+            .point(WorkloadKind::WebSearch, DesignSpec::footprint(64))
+            .point(WorkloadKind::WebSearch, DesignSpec::footprint(128));
         let keys: Vec<_> = spec.points().iter().map(|p| p.key()).collect();
         assert_eq!(keys[0], keys[1]);
         assert_ne!(keys[0], keys[2]);
@@ -200,9 +207,9 @@ mod tests {
     #[test]
     fn dedup_preserves_order() {
         let spec = SweepSpec::new(RunScale::tiny())
-            .point(WorkloadKind::WebSearch, DesignKind::Baseline)
-            .point(WorkloadKind::MapReduce, DesignKind::Baseline)
-            .point(WorkloadKind::WebSearch, DesignKind::Baseline)
+            .point(WorkloadKind::WebSearch, DesignSpec::baseline())
+            .point(WorkloadKind::MapReduce, DesignSpec::baseline())
+            .point(WorkloadKind::WebSearch, DesignSpec::baseline())
             .dedup();
         assert_eq!(spec.len(), 2);
         assert_eq!(spec.points()[0].workload, WorkloadKind::WebSearch);
@@ -212,7 +219,7 @@ mod tests {
     #[test]
     fn seed_matches_historical_lab_seeding() {
         let spec =
-            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignKind::Baseline);
+            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignSpec::baseline());
         let p = &spec.points()[0];
         assert_eq!(p.seed(), 42 ^ (WorkloadKind::WebSearch as u64) << 8);
     }
@@ -221,9 +228,9 @@ mod tests {
     fn custom_config_changes_key() {
         let small = SweepSpec::new(RunScale::tiny())
             .with_config(SimConfig::small())
-            .point(WorkloadKind::WebSearch, DesignKind::Baseline);
+            .point(WorkloadKind::WebSearch, DesignSpec::baseline());
         let default =
-            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignKind::Baseline);
+            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignSpec::baseline());
         assert_ne!(small.points()[0].key(), default.points()[0].key());
     }
 }

@@ -55,7 +55,7 @@ impl CoreSet {
     pub fn contains(self, core: u8) -> bool {
         match self {
             CoreSet::All => true,
-            CoreSet::Even => core % 2 == 0,
+            CoreSet::Even => core.is_multiple_of(2),
             CoreSet::Odd => core % 2 == 1,
         }
     }

@@ -10,7 +10,7 @@
 //! cargo run --release -p fc-repro --example data_serving
 //! ```
 
-use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_sim::{DesignSpec, SimConfig, Simulation};
 use fc_trace::WorkloadKind;
 
 fn main() {
@@ -33,11 +33,11 @@ fn main() {
         "design", "miss %", "IPC/pod", "offchip B/i", "vs base"
     );
     for design in [
-        DesignKind::Baseline,
-        DesignKind::Block { mb: 128 },
-        DesignKind::Page { mb: 128 },
-        DesignKind::Footprint { mb: 128 },
-        DesignKind::Ideal,
+        DesignSpec::baseline(),
+        DesignSpec::block(128),
+        DesignSpec::page(128),
+        DesignSpec::footprint(128),
+        DesignSpec::ideal(),
     ] {
         let mut sim = Simulation::new(SimConfig::default(), design);
         let report = sim.run_workload(workload, 7, warmup, measured);

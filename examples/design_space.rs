@@ -8,7 +8,7 @@
 //! cargo run --release -p fc-repro --example design_space -- "Web Frontend"
 //! ```
 
-use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_sim::{SimConfig, Simulation};
 use fc_trace::WorkloadKind;
 
 fn main() {
@@ -33,17 +33,15 @@ fn main() {
         "design", "hit %", "IPC/pod", "offchip B/i", "stacked B/i"
     );
 
-    let mut designs = vec![DesignKind::Baseline];
-    for mb in [64u64, 256] {
-        designs.extend([
-            DesignKind::Block { mb },
-            DesignKind::Page { mb },
-            DesignKind::SubBlock { mb },
-            DesignKind::HotPage { mb },
-            DesignKind::Footprint { mb },
-        ]);
+    // The full registry catalogue at two capacities: the paper's own
+    // baselines plus the related-work designs (Alloy, Banshee, Gemini).
+    let mut designs = Vec::new();
+    for family in fc_sim::DESIGN_FAMILIES {
+        match family.scales_with_capacity {
+            true => designs.extend([64u64, 256].map(|mb| family.build(mb))),
+            false => designs.push(family.build(0)),
+        }
     }
-    designs.push(DesignKind::Ideal);
 
     for design in designs {
         let mut sim = Simulation::new(SimConfig::default(), design);
@@ -68,7 +66,9 @@ fn main() {
         "Reading guide: the block-based design keeps off-chip traffic low but\n\
          wastes stacked bandwidth on tag accesses and hits rarely; the page-based\n\
          design hits often but explodes off-chip traffic; the sub-blocked and\n\
-         hot-page designs each fix one problem and keep the other. Footprint\n\
-         Cache pairs the page hit ratio with the block traffic."
+         hot-page designs each fix one problem and keep the other; Alloy trades\n\
+         hit ratio for a one-shot compound access, Banshee suppresses low-reuse\n\
+         fills, Gemini splits capacity between mappings. Footprint Cache pairs\n\
+         the page hit ratio with the block traffic."
     );
 }

@@ -8,7 +8,7 @@
 //! cargo run --release -p fc-repro --example quickstart
 //! ```
 
-use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_sim::{DesignSpec, SimConfig, Simulation};
 use fc_trace::WorkloadKind;
 
 fn main() {
@@ -26,11 +26,11 @@ fn main() {
     );
 
     for design in [
-        DesignKind::Baseline,
-        DesignKind::Block { mb: 256 },
-        DesignKind::Page { mb: 256 },
-        DesignKind::Footprint { mb: 256 },
-        DesignKind::Ideal,
+        DesignSpec::baseline(),
+        DesignSpec::block(256),
+        DesignSpec::page(256),
+        DesignSpec::footprint(256),
+        DesignSpec::ideal(),
     ] {
         let mut sim = Simulation::new(SimConfig::default(), design);
         let report = sim.run_workload(workload, seed, warmup, measured);

@@ -3,7 +3,7 @@
 //! These encode Figure 5's orderings, the singleton ablation direction
 //! (Section 6.5), and the sub-blocked extreme (Section 3.1).
 
-use fc_sim::{DesignKind, SimConfig, SimReport, Simulation};
+use fc_sim::{DesignSpec, SimConfig, SimReport, Simulation};
 use fc_trace::WorkloadKind;
 
 // Test scale: enough for FHT training (evictions at 64 MB start early).
@@ -11,7 +11,7 @@ const WARMUP: u64 = 900_000;
 const MEASURED: u64 = 400_000;
 const MB: u64 = 64;
 
-fn run(design: DesignKind, workload: WorkloadKind) -> SimReport {
+fn run(design: DesignSpec, workload: WorkloadKind) -> SimReport {
     let mut sim = Simulation::new(SimConfig::default(), design);
     sim.run_workload(workload, 77, WARMUP, MEASURED)
 }
@@ -20,9 +20,9 @@ fn run(design: DesignKind, workload: WorkloadKind) -> SimReport {
 fn miss_ratio_ordering_page_footprint_block() {
     // Figure 5a: page <= footprint << block for a high-density workload.
     let w = WorkloadKind::WebSearch;
-    let page = run(DesignKind::Page { mb: MB }, w).cache.miss_ratio();
-    let fp = run(DesignKind::Footprint { mb: MB }, w).cache.miss_ratio();
-    let block = run(DesignKind::Block { mb: MB }, w).cache.miss_ratio();
+    let page = run(DesignSpec::page(MB), w).cache.miss_ratio();
+    let fp = run(DesignSpec::footprint(MB), w).cache.miss_ratio();
+    let block = run(DesignSpec::block(MB), w).cache.miss_ratio();
     assert!(
         page <= fp + 0.05,
         "page ({page:.3}) should be at or below footprint ({fp:.3})"
@@ -37,9 +37,9 @@ fn miss_ratio_ordering_page_footprint_block() {
 fn offchip_traffic_ordering_block_footprint_page() {
     // Figure 5b: block <= footprint << page.
     let w = WorkloadKind::WebSearch;
-    let page = run(DesignKind::Page { mb: MB }, w).offchip_bytes_per_inst();
-    let fp = run(DesignKind::Footprint { mb: MB }, w).offchip_bytes_per_inst();
-    let block = run(DesignKind::Block { mb: MB }, w).offchip_bytes_per_inst();
+    let page = run(DesignSpec::page(MB), w).offchip_bytes_per_inst();
+    let fp = run(DesignSpec::footprint(MB), w).offchip_bytes_per_inst();
+    let block = run(DesignSpec::block(MB), w).offchip_bytes_per_inst();
     assert!(
         fp < page * 0.5,
         "footprint traffic ({fp:.3}) must be far below page ({page:.3})"
@@ -54,8 +54,8 @@ fn offchip_traffic_ordering_block_footprint_page() {
 fn page_cache_inflates_traffic_over_baseline() {
     // Figure 5b's key indictment of page-based caching.
     let w = WorkloadKind::DataServing;
-    let base = run(DesignKind::Baseline, w).offchip_bytes_per_inst();
-    let page = run(DesignKind::Page { mb: MB }, w).offchip_bytes_per_inst();
+    let base = run(DesignSpec::baseline(), w).offchip_bytes_per_inst();
+    let page = run(DesignSpec::page(MB), w).offchip_bytes_per_inst();
     assert!(
         page > base * 2.0,
         "page-based ({page:.3}) must inflate traffic well beyond baseline ({base:.3})"
@@ -66,9 +66,9 @@ fn page_cache_inflates_traffic_over_baseline() {
 fn footprint_outperforms_baseline_and_page_on_bandwidth_bound_workload() {
     // Figure 7: Data Serving.
     let w = WorkloadKind::DataServing;
-    let base = run(DesignKind::Baseline, w).throughput();
-    let page = run(DesignKind::Page { mb: MB }, w).throughput();
-    let fp = run(DesignKind::Footprint { mb: MB }, w).throughput();
+    let base = run(DesignSpec::baseline(), w).throughput();
+    let page = run(DesignSpec::page(MB), w).throughput();
+    let fp = run(DesignSpec::footprint(MB), w).throughput();
     assert!(
         fp > base,
         "footprint ({fp:.3}) must beat baseline ({base:.3})"
@@ -79,11 +79,11 @@ fn footprint_outperforms_baseline_and_page_on_bandwidth_bound_workload() {
 #[test]
 fn ideal_is_an_upper_bound() {
     let w = WorkloadKind::WebFrontend;
-    let ideal = run(DesignKind::Ideal, w).throughput();
+    let ideal = run(DesignSpec::ideal(), w).throughput();
     for design in [
-        DesignKind::Baseline,
-        DesignKind::Block { mb: MB },
-        DesignKind::Footprint { mb: MB },
+        DesignSpec::baseline(),
+        DesignSpec::block(MB),
+        DesignSpec::footprint(MB),
     ] {
         let t = run(design, w).throughput();
         assert!(
@@ -98,8 +98,8 @@ fn ideal_is_an_upper_bound() {
 fn singleton_optimization_does_not_hurt_miss_rate() {
     // Section 6.5: removing singleton pages frees capacity.
     let w = WorkloadKind::DataServing;
-    let with = run(DesignKind::Footprint { mb: MB }, w).cache.miss_ratio();
-    let without = run(DesignKind::footprint_no_singleton(MB), w)
+    let with = run(DesignSpec::footprint(MB), w).cache.miss_ratio();
+    let without = run(DesignSpec::footprint_no_singleton(MB), w)
         .cache
         .miss_ratio();
     assert!(
@@ -113,8 +113,8 @@ fn subblocked_misses_more_than_footprint() {
     // Section 3.1: the sub-blocked cache is the maximum-underprediction
     // extreme; a trained footprint predictor must beat it on misses.
     let w = WorkloadKind::WebSearch;
-    let sub = run(DesignKind::SubBlock { mb: MB }, w).cache.miss_ratio();
-    let fp = run(DesignKind::Footprint { mb: MB }, w).cache.miss_ratio();
+    let sub = run(DesignSpec::subblock(MB), w).cache.miss_ratio();
+    let fp = run(DesignSpec::footprint(MB), w).cache.miss_ratio();
     assert!(
         fp < sub,
         "footprint ({fp:.3}) must miss less than sub-blocked ({sub:.3})"
@@ -127,8 +127,8 @@ fn footprint_spends_less_stacked_energy_per_instruction_than_block() {
     // instruction vs the block-based design (whose every access moves
     // tag blocks and activates a closed row).
     let w = WorkloadKind::WebSearch;
-    let block = run(DesignKind::Block { mb: MB }, w);
-    let fp = run(DesignKind::Footprint { mb: MB }, w);
+    let block = run(DesignSpec::block(MB), w);
+    let fp = run(DesignSpec::footprint(MB), w);
     let block_epi = block.stacked_energy_per_inst_nj();
     let fp_epi = fp.stacked_energy_per_inst_nj();
     assert!(
@@ -141,7 +141,7 @@ fn footprint_spends_less_stacked_energy_per_instruction_than_block() {
 fn footprint_predictor_accuracy_is_high() {
     // Figure 8: near-perfect coverage with small overprediction for
     // stable, structured workloads.
-    let r = run(DesignKind::Footprint { mb: MB }, WorkloadKind::WebSearch);
+    let r = run(DesignSpec::footprint(MB), WorkloadKind::WebSearch);
     let p = r.prediction.expect("counters");
     let demanded = (p.covered + p.underpredicted).max(1) as f64;
     let coverage = p.covered as f64 / demanded;
@@ -154,8 +154,8 @@ fn footprint_predictor_accuracy_is_high() {
 fn sat_solver_drift_degrades_prediction() {
     // Section 6.2: the drifting dataset interferes with the predictor;
     // coverage must be visibly worse than on the stable Web Search.
-    let stable = run(DesignKind::Footprint { mb: MB }, WorkloadKind::WebSearch);
-    let drift = run(DesignKind::Footprint { mb: MB }, WorkloadKind::SatSolver);
+    let stable = run(DesignSpec::footprint(MB), WorkloadKind::WebSearch);
+    let drift = run(DesignSpec::footprint(MB), WorkloadKind::SatSolver);
     let cov = |r: &SimReport| {
         let p = r.prediction.expect("counters");
         p.covered as f64 / (p.covered + p.underpredicted).max(1) as f64

@@ -2,13 +2,13 @@
 //! identical simulations, and the synthetic workloads must exhibit the
 //! statistical properties the paper's analysis depends on.
 
-use fc_sim::{analysis, DesignKind, SimConfig, Simulation};
+use fc_sim::{analysis, DesignSpec, SimConfig, Simulation};
 use fc_trace::{TraceGenerator, WorkloadKind};
 
 #[test]
 fn identical_seeds_identical_reports() {
     let run = || {
-        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Footprint { mb: 64 });
+        let mut sim = Simulation::new(SimConfig::default(), DesignSpec::footprint(64));
         sim.run_workload(WorkloadKind::DataServing, 999, 120_000, 80_000)
     };
     let a = run();
@@ -24,7 +24,7 @@ fn identical_seeds_identical_reports() {
 #[test]
 fn different_seeds_differ() {
     let run = |seed| {
-        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Baseline);
+        let mut sim = Simulation::new(SimConfig::default(), DesignSpec::baseline());
         sim.run_workload(WorkloadKind::WebSearch, seed, 50_000, 50_000)
     };
     assert_ne!(run(1).cycles, run(2).cycles);
@@ -72,7 +72,7 @@ fn density_grows_with_cache_capacity() {
     // (the paper's "very low density at 64/128 MB" observation). The
     // caches must be warmed enough that evictions are steady-state.
     let mean_density = |mb: u64| {
-        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Page { mb });
+        let mut sim = Simulation::new(SimConfig::default(), DesignSpec::page(mb));
         let r = sim.run_workload(WorkloadKind::MapReduce, 21, 4_000_000, 2_000_000);
         let f = r.cache.density.fractions();
         let reps = [1.0, 2.5, 5.5, 11.5, 23.5, 32.0];
@@ -108,7 +108,7 @@ fn multiprogrammed_resident_cores_hit_more_at_large_caches() {
     // The even cores' working sets fit at 512 MB; the hit ratio must
     // improve substantially from 64 MB to 512 MB.
     let hit = |mb: u64| {
-        let mut sim = Simulation::new(SimConfig::default(), DesignKind::Page { mb });
+        let mut sim = Simulation::new(SimConfig::default(), DesignSpec::page(mb));
         sim.run_workload(WorkloadKind::Multiprogrammed, 31, 1_000_000, 500_000)
             .cache
             .hit_ratio()

@@ -2,20 +2,20 @@
 //! DRAM timing/energy, exercising the same paths the experiment harness
 //! uses, at a scale fast enough for CI.
 
-use fc_sim::{DesignKind, SimConfig, Simulation};
+use fc_sim::{DesignSpec, SimConfig, Simulation};
 use fc_trace::{TraceGenerator, WorkloadKind};
 
 const WARMUP: u64 = 150_000;
 const MEASURED: u64 = 100_000;
 
-fn run(design: DesignKind, workload: WorkloadKind) -> fc_sim::SimReport {
+fn run(design: DesignSpec, workload: WorkloadKind) -> fc_sim::SimReport {
     let mut sim = Simulation::new(SimConfig::default(), design);
     sim.run_workload(workload, 1234, WARMUP, MEASURED)
 }
 
 #[test]
 fn baseline_conservation_laws() {
-    let r = run(DesignKind::Baseline, WorkloadKind::WebSearch);
+    let r = run(DesignSpec::baseline(), WorkloadKind::WebSearch);
     // Every DRAM-cache access misses; every miss reads exactly one block.
     assert_eq!(r.cache.hits, 0);
     assert_eq!(r.cache.misses, r.cache.accesses);
@@ -31,12 +31,12 @@ fn baseline_conservation_laws() {
 #[test]
 fn hits_plus_misses_equals_accesses_for_every_design() {
     for design in [
-        DesignKind::Block { mb: 64 },
-        DesignKind::Page { mb: 64 },
-        DesignKind::Footprint { mb: 64 },
-        DesignKind::SubBlock { mb: 64 },
-        DesignKind::HotPage { mb: 64 },
-        DesignKind::Ideal,
+        DesignSpec::block(64),
+        DesignSpec::page(64),
+        DesignSpec::footprint(64),
+        DesignSpec::subblock(64),
+        DesignSpec::hotpage(64),
+        DesignSpec::ideal(),
     ] {
         let r = run(design, WorkloadKind::WebFrontend);
         assert_eq!(
@@ -51,7 +51,7 @@ fn hits_plus_misses_equals_accesses_for_every_design() {
 
 #[test]
 fn energy_consistent_with_operation_counts() {
-    let r = run(DesignKind::Footprint { mb: 64 }, WorkloadKind::WebSearch);
+    let r = run(DesignSpec::footprint(64), WorkloadKind::WebSearch);
     // Energy must be positive exactly when the corresponding ops exist.
     assert!(r.offchip.activates > 0);
     assert!(r.offchip_energy.act_pre_nj > 0.0);
@@ -71,17 +71,17 @@ fn energy_consistent_with_operation_counts() {
 
 #[test]
 fn footprint_prediction_counters_flow_to_report() {
-    let r = run(DesignKind::Footprint { mb: 64 }, WorkloadKind::WebSearch);
+    let r = run(DesignSpec::footprint(64), WorkloadKind::WebSearch);
     let p = r.prediction.expect("footprint reports counters");
     assert!(p.covered > 0, "predictor never covered a block");
     // Only the footprint design reports counters.
-    let r2 = run(DesignKind::Page { mb: 64 }, WorkloadKind::WebSearch);
+    let r2 = run(DesignSpec::page(64), WorkloadKind::WebSearch);
     assert!(r2.prediction.is_none());
 }
 
 #[test]
 fn density_histograms_populated_for_page_designs() {
-    let r = run(DesignKind::Page { mb: 64 }, WorkloadKind::MapReduce);
+    let r = run(DesignSpec::page(64), WorkloadKind::MapReduce);
     assert!(
         r.cache.density.total() > 0,
         "page evictions must record densities"
@@ -92,7 +92,7 @@ fn density_histograms_populated_for_page_designs() {
 fn stacked_dram_row_locality_of_page_fills() {
     // Page-organized fills stream whole rows: activates per stacked write
     // block must be far below 1.
-    let r = run(DesignKind::Page { mb: 64 }, WorkloadKind::WebSearch);
+    let r = run(DesignSpec::page(64), WorkloadKind::WebSearch);
     let act_per_block = r.stacked.activates as f64 / r.stacked.write_blocks.max(1) as f64;
     assert!(
         act_per_block < 0.5,
@@ -119,10 +119,10 @@ fn trace_io_round_trips_through_simulation_input() {
     assert_eq!(records, replayed);
 
     // Replaying the stored trace gives the same result as the generator.
-    let mut a = Simulation::new(SimConfig::small(), DesignKind::Footprint { mb: 64 });
+    let mut a = Simulation::new(SimConfig::small(), DesignSpec::footprint(64));
     let snap = a.snapshot();
     let ra = a.run_records(records, &snap);
-    let mut b = Simulation::new(SimConfig::small(), DesignKind::Footprint { mb: 64 });
+    let mut b = Simulation::new(SimConfig::small(), DesignSpec::footprint(64));
     let snap = b.snapshot();
     let rb = b.run_records(replayed, &snap);
     assert_eq!(ra.cycles, rb.cycles);
@@ -131,8 +131,8 @@ fn trace_io_round_trips_through_simulation_input() {
 
 #[test]
 fn ideal_low_latency_beats_ideal() {
-    let normal = run(DesignKind::Ideal, WorkloadKind::DataServing).throughput();
-    let low = run(DesignKind::IdealLowLatency, WorkloadKind::DataServing).throughput();
+    let normal = run(DesignSpec::ideal(), WorkloadKind::DataServing).throughput();
+    let low = run(DesignSpec::ideal_low_latency(), WorkloadKind::DataServing).throughput();
     assert!(
         low >= normal,
         "halved DRAM latency cannot hurt: {low:.3} vs {normal:.3}"

@@ -1,7 +1,7 @@
 //! Tier-1 guarantees of the sweep subsystem: thread-count-independent,
 //! bit-identical results, and memoization of repeated points.
 
-use fc_sim::DesignKind;
+use fc_sim::DesignSpec;
 use fc_sweep::{RunScale, SweepEngine, SweepSpec, TraceCache};
 use fc_trace::WorkloadKind;
 
@@ -11,10 +11,10 @@ fn spec() -> SweepSpec {
     SweepSpec::new(RunScale::tiny()).grid(
         &[WorkloadKind::WebSearch, WorkloadKind::DataServing],
         &[
-            DesignKind::Baseline,
-            DesignKind::Footprint { mb: 64 },
-            DesignKind::Footprint { mb: 128 },
-            DesignKind::Page { mb: 64 },
+            DesignSpec::baseline(),
+            DesignSpec::footprint(64),
+            DesignSpec::footprint(128),
+            DesignSpec::page(64),
         ],
     )
 }

@@ -247,7 +247,10 @@ macro_rules! __proptest_params {
                 let mut rng = $crate::TestRng::for_case(case);
                 let ( $($pat,)* ) = $crate::Strategy::generate(&strategy, &mut rng);
                 // Closure per case so `prop_assume!` can skip via `return`.
-                (move || $body)();
+                #[allow(clippy::redundant_closure_call)]
+                {
+                    (move || $body)();
+                }
             }
         }
     };
