@@ -11,6 +11,7 @@ mod fig5;
 mod fig67;
 mod fig8;
 mod fig9;
+mod loaded_latency;
 mod tables;
 
 pub use ablations::{
@@ -25,6 +26,7 @@ pub use fig5::fig5;
 pub use fig67::{fig6, fig7};
 pub use fig8::fig8;
 pub use fig9::fig9;
+pub use loaded_latency::loaded_latency;
 pub use tables::{table1, table4};
 
 use crate::Lab;
@@ -104,6 +106,7 @@ pub fn run_all(lab: &mut Lab) -> String {
         fig7(lab),
         fig8(lab),
         fig9(lab),
+        loaded_latency(lab),
         fig10(lab),
         fig11(lab),
         fig12(),

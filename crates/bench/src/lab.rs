@@ -56,6 +56,17 @@ impl Lab {
         self
     }
 
+    /// The lab's worker-thread count (shared by prefetched grids and
+    /// the loaded-latency experiment's parallel runner).
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// The lab's run scale.
+    pub fn scale(&self) -> RunScale {
+        self.scale
+    }
+
     /// Number of distinct simulations executed.
     pub fn runs_executed(&self) -> u64 {
         self.engine.store().computed()

@@ -41,9 +41,106 @@ impl Bank {
     }
 }
 
+/// A fixed-bin histogram of per-access queueing delays (cycles between
+/// a request's arrival and the first cycle its bank could begin serving
+/// it). Bin upper bounds are [`QueueDelayHist::BOUNDS`]; the last bin is
+/// open-ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueDelayHist {
+    bins: [u64; Self::BINS],
+}
+
+impl QueueDelayHist {
+    /// Number of bins.
+    pub const BINS: usize = 7;
+    /// Inclusive upper bound of each bin except the last (open-ended).
+    pub const BOUNDS: [u64; Self::BINS - 1] = [0, 3, 15, 63, 255, 1023];
+
+    /// Records one delay sample.
+    pub fn record(&mut self, delay: u64) {
+        let bin = Self::BOUNDS
+            .iter()
+            .position(|&b| delay <= b)
+            .unwrap_or(Self::BINS - 1);
+        self.bins[bin] += 1;
+    }
+
+    /// The bin counts.
+    pub fn bins(&self) -> [u64; Self::BINS] {
+        self.bins
+    }
+
+    /// Rebuilds a histogram from bin counts (snapshot differencing).
+    pub fn from_bins(bins: [u64; Self::BINS]) -> Self {
+        Self { bins }
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The bins as a JSON array literal — the single rendering used by
+    /// both the sweep emitters and the golden-stats format.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.bins.iter().map(|b| b.to_string()).collect();
+        format!("[{}]", cells.join(", "))
+    }
+}
+
+impl std::ops::AddAssign for QueueDelayHist {
+    fn add_assign(&mut self, rhs: Self) {
+        for (a, b) in self.bins.iter_mut().zip(rhs.bins) {
+            *a += b;
+        }
+    }
+}
+
+/// A bounded outstanding-request queue with FIFO release: the admission
+/// time of request *i* is `max(arrival_i, done_{i - capacity})`. This is
+/// the single shared implementation of the max-plus admission recurrence
+/// both the channel request queue and `fc_sim`'s MSHR-style window rely
+/// on for the loaded-latency monotonicity guarantee (admission composes
+/// arrivals with `max`/`+` only; releases are strictly FIFO).
+#[derive(Clone, Debug)]
+pub struct BoundedQueue {
+    inflight: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    /// A queue admitting at most `capacity` outstanding requests.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue needs at least one entry");
+        Self {
+            inflight: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Admits a request arriving at `at`: returns `at` when an entry is
+    /// free, otherwise the oldest outstanding completion (released to
+    /// make room).
+    pub fn admit(&mut self, at: u64) -> u64 {
+        if self.inflight.len() == self.capacity {
+            let oldest = self.inflight.pop_front().expect("queue is full");
+            at.max(oldest)
+        } else {
+            at
+        }
+    }
+
+    /// Records the admitted request's completion time.
+    pub fn push(&mut self, done: u64) {
+        self.inflight.push_back(done);
+    }
+}
+
 /// Counters exported by a channel.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ChannelStats {
+    /// Accesses served (row hits + row misses).
+    pub accesses: u64,
     /// Row activations performed.
     pub activates: u64,
     /// Accesses that hit an open row buffer.
@@ -56,16 +153,61 @@ pub struct ChannelStats {
     pub write_blocks: u64,
     /// Compound (tags-in-DRAM) accesses: tag CAS + data CAS pairs.
     pub compound_accesses: u64,
+    /// Cycles the data bus spent transferring (occupancy; divide by
+    /// elapsed cycles for this channel's bus utilization).
+    pub busy_cycles: u64,
+    /// Total cycles accesses spent queued (arrival to bank service).
+    pub queue_delay_cycles: u64,
+    /// Distribution of per-access queueing delays.
+    pub queue_hist: QueueDelayHist,
 }
 
-/// One DRAM channel: a set of banks sharing a command/data bus, with
-/// rank-level tRRD/tFAW activation-rate limits.
+impl ChannelStats {
+    /// Mean queueing delay per access (0 if no accesses).
+    pub fn avg_queue_delay(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.queue_delay_cycles as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for ChannelStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.accesses += rhs.accesses;
+        self.activates += rhs.activates;
+        self.row_hits += rhs.row_hits;
+        self.row_misses += rhs.row_misses;
+        self.read_blocks += rhs.read_blocks;
+        self.write_blocks += rhs.write_blocks;
+        self.compound_accesses += rhs.compound_accesses;
+        self.busy_cycles += rhs.busy_cycles;
+        self.queue_delay_cycles += rhs.queue_delay_cycles;
+        self.queue_hist += rhs.queue_hist;
+    }
+}
+
+/// One DRAM channel: a bounded request queue in front of a set of banks
+/// sharing a command/data bus, with rank-level tRRD/tFAW
+/// activation-rate limits.
 ///
-/// The model is a resource reservation: `access` computes the earliest
-/// protocol-legal schedule for the request given current bank/bus state,
-/// commits that schedule, and returns the completion times. Requests must
-/// be presented in non-decreasing arrival order (the simulator's event loop
-/// guarantees this); a request never observes state from the "future".
+/// The model is a resource reservation with FR-FCFS-flavored service:
+/// `access` first passes the channel's bounded request queue (when all
+/// `queue_depth` entries are occupied, admission waits for the oldest
+/// outstanding request to complete — the queueing delay every loaded
+/// channel exhibits), then computes the earliest protocol-legal schedule
+/// for the request given current bank/bus state, commits that schedule,
+/// and returns the completion times. Service is *first-ready*: because
+/// banks reserve independently, an admitted row-buffer hit issues its
+/// CAS as soon as its bank and the bus allow, without waiting for older
+/// row misses on other banks to finish activating — the reordering
+/// FR-FCFS schedulers perform. Admission is FCFS.
+///
+/// Every timing update composes arrival times with `max` and `+` only
+/// (a max-plus system), so completion times are exactly monotone in
+/// arrival times — the property the loaded-latency experiment's
+/// monotonicity guarantee rests on.
 #[derive(Clone, Debug)]
 pub struct Channel {
     t: CoreCycleTimings,
@@ -75,13 +217,20 @@ pub struct Channel {
     /// Times of the most recent activates on this rank (tFAW window).
     act_window: VecDeque<u64>,
     last_act: Option<u64>,
+    /// The bounded request queue gating admission.
+    queue: BoundedQueue,
+    /// Activate issue times, recorded when logging is enabled
+    /// ([`Channel::with_activate_log`]) for timing-invariant tests.
+    act_log: Option<Vec<u64>>,
     stats: ChannelStats,
 }
 
 impl Channel {
-    /// Creates a channel with `banks` banks.
-    pub fn new(t: CoreCycleTimings, policy: RowPolicy, banks: usize) -> Self {
+    /// Creates a channel with `banks` banks and a request queue of
+    /// `queue_depth` entries.
+    pub fn new(t: CoreCycleTimings, policy: RowPolicy, banks: usize, queue_depth: usize) -> Self {
         assert!(banks > 0, "channel needs at least one bank");
+        assert!(queue_depth > 0, "channel needs at least one queue entry");
         Self {
             t,
             policy,
@@ -89,8 +238,23 @@ impl Channel {
             bus_free_at: 0,
             act_window: VecDeque::with_capacity(4),
             last_act: None,
+            queue: BoundedQueue::new(queue_depth),
+            act_log: None,
             stats: ChannelStats::default(),
         }
+    }
+
+    /// Enables recording of activate issue times (test instrumentation
+    /// for tFAW/tRRD invariants; unbounded memory, keep runs short).
+    pub fn with_activate_log(mut self) -> Self {
+        self.act_log = Some(Vec::new());
+        self
+    }
+
+    /// The recorded activate issue times (empty unless
+    /// [`with_activate_log`](Channel::with_activate_log) enabled them).
+    pub fn activate_times(&self) -> &[u64] {
+        self.act_log.as_deref().unwrap_or(&[])
     }
 
     /// Performs an access of `blocks` consecutive 64-byte blocks within one
@@ -143,8 +307,16 @@ impl Channel {
     ) -> Completion {
         assert!(blocks > 0, "access must transfer at least one block");
         let nbanks = self.banks.len();
+
+        // Bounded request queue: when all entries are occupied the
+        // request waits for the oldest outstanding one to drain.
+        let admit = self.queue.admit(at);
+
         let b = &mut self.banks[bank];
-        let t0 = at.max(b.ready_at);
+        let t0 = admit.max(b.ready_at);
+        self.stats.accesses += 1;
+        self.stats.queue_delay_cycles += t0 - at;
+        self.stats.queue_hist.record(t0 - at);
 
         let row_hit = matches!(self.policy, RowPolicy::Open) && b.open_row == Some(row);
 
@@ -173,6 +345,9 @@ impl Channel {
                 self.act_window.pop_front();
             }
             self.act_window.push_back(act_at);
+            if let Some(log) = &mut self.act_log {
+                log.push(act_at);
+            }
             self.stats.activates += 1;
             b.open_row = Some(row);
             act_at + self.t.t_rcd
@@ -185,6 +360,7 @@ impl Channel {
             self.bus_free_at = tag_bus + self.t.t_burst;
             self.stats.read_blocks += 1;
             self.stats.compound_accesses += 1;
+            self.stats.busy_cycles += self.t.t_burst;
             self.bus_free_at + 1
         } else {
             cas_at
@@ -196,11 +372,13 @@ impl Channel {
         let data_ready = bus_start + self.t.t_burst;
         let mut done = bus_start + self.t.t_burst * blocks as u64;
         self.bus_free_at = done;
+        self.stats.busy_cycles += self.t.t_burst * blocks as u64;
 
         // Off-critical-path tag update CAS (write burst: bus + energy).
         if tags_in_dram {
             self.bus_free_at += self.t.t_burst;
             self.stats.write_blocks += 1;
+            self.stats.busy_cycles += self.t.t_burst;
             done = self.bus_free_at;
         }
 
@@ -229,6 +407,7 @@ impl Channel {
         }
 
         debug_assert!(bank < nbanks);
+        self.queue.push(done);
         Completion {
             data_ready,
             done,
@@ -258,6 +437,7 @@ mod tests {
             DramTimings::ddr3_3200_stacked().to_core_cycles(),
             RowPolicy::Open,
             8,
+            16,
         )
     }
 
@@ -265,6 +445,7 @@ mod tests {
         Channel::new(
             DramTimings::ddr3_1600().to_core_cycles(),
             RowPolicy::Closed,
+            8,
             8,
         )
     }
@@ -362,6 +543,84 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_block_access_rejected() {
         stacked().access(0, 0, AccessKind::Read, 0, 0);
+    }
+
+    #[test]
+    fn full_queue_delays_admission() {
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        let mut ch = Channel::new(t, RowPolicy::Open, 8, 2);
+        // Three same-cycle row hits to one warm row: with a queue of 2,
+        // the third must wait for the first to drain off the bus.
+        ch.access(0, 1, AccessKind::Read, 1, 0);
+        let warm = ch.stats();
+        let c1 = ch.access(0, 1, AccessKind::Read, 1, 10_000);
+        ch.access(0, 1, AccessKind::Read, 1, 10_000);
+        let c3 = ch.access(0, 1, AccessKind::Read, 1, 10_000);
+        assert!(c3.data_ready >= c1.done + t.t_burst);
+        let s = ch.stats();
+        assert!(
+            s.queue_delay_cycles > warm.queue_delay_cycles,
+            "third access must record queueing delay"
+        );
+        assert_eq!(s.queue_hist.samples(), s.accesses);
+    }
+
+    #[test]
+    fn deep_queue_admits_immediately() {
+        let mut deep = stacked();
+        let mut shallow = Channel::new(
+            DramTimings::ddr3_3200_stacked().to_core_cycles(),
+            RowPolicy::Open,
+            8,
+            1,
+        );
+        let mut last_deep = 0;
+        let mut last_shallow = 0;
+        for i in 0..8 {
+            last_deep = deep.access(i % 8, 1, AccessKind::Read, 4, 0).done;
+            last_shallow = shallow.access(i % 8, 1, AccessKind::Read, 4, 0).done;
+        }
+        // Same protocol work; the shallow queue can only be slower.
+        assert!(last_shallow >= last_deep);
+        assert!(shallow.stats().queue_delay_cycles >= deep.stats().queue_delay_cycles);
+    }
+
+    #[test]
+    fn busy_cycles_track_bus_occupancy() {
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        let mut ch = stacked();
+        ch.access(0, 1, AccessKind::Read, 32, 0);
+        assert_eq!(ch.stats().busy_cycles, 32 * t.t_burst);
+        // A compound access adds a tag-read and a tag-write burst.
+        let mut cmp = stacked();
+        cmp.access_compound(0, 1, AccessKind::Read, 1, 0);
+        assert_eq!(cmp.stats().busy_cycles, 3 * t.t_burst);
+    }
+
+    #[test]
+    fn activate_log_records_issue_times() {
+        let mut ch = offchip_closed().with_activate_log();
+        ch.access(0, 1, AccessKind::Read, 1, 0);
+        ch.access(1, 2, AccessKind::Read, 1, 0);
+        assert_eq!(ch.activate_times().len(), 2);
+        assert_eq!(stacked().activate_times().len(), 0);
+    }
+
+    #[test]
+    fn queue_hist_bins_are_cumulative_bounds() {
+        let mut h = QueueDelayHist::default();
+        h.record(0);
+        h.record(3);
+        h.record(4);
+        h.record(100_000);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[2], 1);
+        assert_eq!(h.bins()[QueueDelayHist::BINS - 1], 1);
+        assert_eq!(h.samples(), 4);
+        let mut sum = h;
+        sum += h;
+        assert_eq!(sum.samples(), 8);
     }
 
     #[test]

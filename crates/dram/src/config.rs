@@ -15,6 +15,11 @@ pub struct DramConfig {
     pub mapping: AddressMapping,
     /// Row-buffer management policy.
     pub policy: RowPolicy,
+    /// Per-channel request-queue depth: outstanding requests a channel
+    /// accepts before admission stalls (the memory controller's
+    /// per-channel queue). Deep enough to expose bank parallelism,
+    /// shallow enough that loaded channels exhibit queueing delay.
+    pub queue_depth: u32,
     /// Per-operation energy constants.
     pub energy: EnergyParams,
 }
@@ -31,6 +36,7 @@ impl DramConfig {
                 bank_bits: 3,
             },
             policy: RowPolicy::Closed,
+            queue_depth: 8,
             energy: EnergyParams::off_chip_ddr3(),
         }
     }
@@ -47,6 +53,7 @@ impl DramConfig {
                 row_shift: 11,
             },
             policy: RowPolicy::Open,
+            queue_depth: 8,
             energy: EnergyParams::off_chip_ddr3(),
         }
     }
@@ -63,6 +70,7 @@ impl DramConfig {
                 row_shift: 11,
             },
             policy: RowPolicy::Open,
+            queue_depth: 16,
             energy: EnergyParams::stacked_ddr3(),
         }
     }
@@ -82,6 +90,7 @@ impl DramConfig {
                 row_shift: 11,
             },
             policy: RowPolicy::Closed,
+            queue_depth: 16,
             energy: EnergyParams::stacked_ddr3(),
         }
     }
@@ -101,6 +110,12 @@ impl DramConfig {
     /// Replaces the row policy (builder-style).
     pub fn with_policy(mut self, policy: RowPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replaces the per-channel request-queue depth (builder-style).
+    pub fn with_queue_depth(mut self, queue_depth: u32) -> Self {
+        self.queue_depth = queue_depth;
         self
     }
 }

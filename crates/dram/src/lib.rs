@@ -44,7 +44,7 @@ mod mapping;
 mod system;
 mod timing;
 
-pub use channel::{Channel, Completion};
+pub use channel::{BoundedQueue, Channel, ChannelStats, Completion, QueueDelayHist};
 pub use config::DramConfig;
 pub use energy::{EnergyBreakdown, EnergyParams};
 pub use mapping::{AddressMapping, Location};

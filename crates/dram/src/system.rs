@@ -3,13 +3,15 @@
 use fc_types::{AccessKind, PhysAddr};
 use serde::{Deserialize, Serialize};
 
-use crate::channel::{Channel, Completion};
+use crate::channel::{Channel, ChannelStats, Completion, QueueDelayHist};
 use crate::config::DramConfig;
 use crate::energy::EnergyBreakdown;
 
 /// Aggregate counters for a whole DRAM system.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramStats {
+    /// Accesses served (row hits + row misses).
+    pub accesses: u64,
     /// Row activations.
     pub activates: u64,
     /// Row-buffer hits.
@@ -23,6 +25,13 @@ pub struct DramStats {
     /// Compound (tags-in-DRAM) accesses: tag CAS + data CAS pairs, as
     /// issued by the block-based and Alloy designs.
     pub compound_accesses: u64,
+    /// Data-bus transfer cycles summed over all channels (aggregate bus
+    /// occupancy; see [`bus_utilization`](DramStats::bus_utilization)).
+    pub busy_cycles: u64,
+    /// Cycles accesses spent queued before bank service, summed.
+    pub queue_delay_cycles: u64,
+    /// Distribution of per-access queueing delays, merged over channels.
+    pub queue_hist: QueueDelayHist,
 }
 
 impl DramStats {
@@ -38,6 +47,80 @@ impl DramStats {
             0.0
         } else {
             self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean queueing delay per access in cycles (0 if no accesses).
+    pub fn avg_queue_delay(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.queue_delay_cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Mean data-bus utilization over `elapsed` cycles and `channels`
+    /// channels: the fraction of channel-cycles spent transferring.
+    pub fn bus_utilization(&self, elapsed: u64, channels: usize) -> f64 {
+        if elapsed == 0 || channels == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / (elapsed as f64 * channels as f64)
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot of the same system
+    /// (every counter is monotone, so field-wise subtraction is exact).
+    /// The single diffing implementation behind `SimReport` snapshots
+    /// and the loaded-latency driver.
+    pub fn delta_since(&self, since: &DramStats) -> DramStats {
+        let mut bins = self.queue_hist.bins();
+        for (a, b) in bins.iter_mut().zip(since.queue_hist.bins()) {
+            *a -= b;
+        }
+        DramStats {
+            accesses: self.accesses - since.accesses,
+            activates: self.activates - since.activates,
+            row_hits: self.row_hits - since.row_hits,
+            row_misses: self.row_misses - since.row_misses,
+            read_blocks: self.read_blocks - since.read_blocks,
+            write_blocks: self.write_blocks - since.write_blocks,
+            compound_accesses: self.compound_accesses - since.compound_accesses,
+            busy_cycles: self.busy_cycles - since.busy_cycles,
+            queue_delay_cycles: self.queue_delay_cycles - since.queue_delay_cycles,
+            queue_hist: QueueDelayHist::from_bins(bins),
+        }
+    }
+}
+
+impl std::ops::AddAssign for DramStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.accesses += rhs.accesses;
+        self.activates += rhs.activates;
+        self.row_hits += rhs.row_hits;
+        self.row_misses += rhs.row_misses;
+        self.read_blocks += rhs.read_blocks;
+        self.write_blocks += rhs.write_blocks;
+        self.compound_accesses += rhs.compound_accesses;
+        self.busy_cycles += rhs.busy_cycles;
+        self.queue_delay_cycles += rhs.queue_delay_cycles;
+        self.queue_hist += rhs.queue_hist;
+    }
+}
+
+impl From<ChannelStats> for DramStats {
+    fn from(c: ChannelStats) -> Self {
+        Self {
+            accesses: c.accesses,
+            activates: c.activates,
+            row_hits: c.row_hits,
+            row_misses: c.row_misses,
+            read_blocks: c.read_blocks,
+            write_blocks: c.write_blocks,
+            compound_accesses: c.compound_accesses,
+            busy_cycles: c.busy_cycles,
+            queue_delay_cycles: c.queue_delay_cycles,
+            queue_hist: c.queue_hist,
         }
     }
 }
@@ -69,7 +152,14 @@ impl DramSystem {
     pub fn new(config: DramConfig) -> Self {
         let t = config.timings.to_core_cycles();
         let channels = (0..config.mapping.channels())
-            .map(|_| Channel::new(t, config.policy, config.mapping.banks()))
+            .map(|_| {
+                Channel::new(
+                    t,
+                    config.policy,
+                    config.mapping.banks(),
+                    config.queue_depth as usize,
+                )
+            })
             .collect();
         Self { config, channels }
     }
@@ -110,15 +200,15 @@ impl DramSystem {
     pub fn stats(&self) -> DramStats {
         let mut s = DramStats::default();
         for ch in &self.channels {
-            let c = ch.stats();
-            s.activates += c.activates;
-            s.row_hits += c.row_hits;
-            s.row_misses += c.row_misses;
-            s.read_blocks += c.read_blocks;
-            s.write_blocks += c.write_blocks;
-            s.compound_accesses += c.compound_accesses;
+            s += DramStats::from(ch.stats());
         }
         s
+    }
+
+    /// Per-channel counters, in channel order (utilization-imbalance
+    /// inspection, conservation tests).
+    pub fn per_channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(|c| c.stats()).collect()
     }
 
     /// Dynamic energy consumed so far, split as in Figures 10/11.
@@ -173,6 +263,35 @@ mod tests {
         sys.access(PhysAddr::new(0x4000), AccessKind::Read, 12, 0);
         assert_eq!(sys.stats().activates, 1);
         assert_eq!(sys.stats().read_blocks, 12);
+    }
+
+    #[test]
+    fn merged_channel_stats_conserve_traffic() {
+        // Merging per-channel stats with AddAssign must equal the
+        // system aggregate, and blocks transferred must partition into
+        // read_blocks + write_blocks exactly.
+        let mut sys = DramSystem::new(DramConfig::stacked_ddr3_3200());
+        for i in 0..64u64 {
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            sys.access(PhysAddr::new(i * 2048), kind, (i % 7 + 1) as u32, i * 10);
+        }
+        let mut merged = DramStats::default();
+        for c in sys.per_channel_stats() {
+            merged += DramStats::from(c);
+        }
+        let total = sys.stats();
+        assert_eq!(merged, total);
+        assert_eq!(
+            merged.bytes(),
+            (merged.read_blocks + merged.write_blocks) * BLOCK_SIZE as u64,
+            "transferred bytes must equal read + write blocks"
+        );
+        assert_eq!(merged.accesses, merged.row_hits + merged.row_misses);
+        assert_eq!(merged.queue_hist.samples(), merged.accesses);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct SimConfig {
     /// Instructions a lean OoO core can slide past an outstanding miss
     /// before stalling (reorder-window lookahead).
     pub rob_window: u64,
+    /// Outstanding-request window of the shared memory system below the
+    /// L2 (MSHR-style): demand, fill and writeback traffic all occupy
+    /// entries, so a saturated pod queues.
+    pub memsys_window: usize,
 }
 
 impl Default for SimConfig {
@@ -29,6 +33,7 @@ impl Default for SimConfig {
             l2_latency: 13,
             mshrs: 8,
             rob_window: 64,
+            memsys_window: crate::MemorySystem::DEFAULT_WINDOW,
         }
     }
 }

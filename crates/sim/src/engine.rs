@@ -36,7 +36,7 @@ pub struct Simulation {
 impl Simulation {
     /// Builds the pod for `design`.
     pub fn new(config: SimConfig, design: DesignSpec) -> Self {
-        let memsys = design.build();
+        let memsys = design.build().with_window(config.memsys_window);
         Self {
             config,
             design,

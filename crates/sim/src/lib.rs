@@ -44,6 +44,7 @@ mod config;
 mod design;
 mod engine;
 pub mod json;
+pub mod loaded;
 mod memsys;
 pub mod registry;
 mod report;

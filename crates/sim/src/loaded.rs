@@ -1,0 +1,269 @@
+//! Loaded-latency measurement: latency-vs-injected-bandwidth curves.
+//!
+//! The trace-replay engine measures designs at whatever bandwidth the
+//! cores happen to demand; this driver instead injects memory requests
+//! at a *controlled* rate straight into the [`MemorySystem`] and
+//! measures the average demand latency — the loaded-latency curve
+//! memory-system papers plot (the paper's bandwidth axis, Figures 8/9
+//! of the Banshee line of work). Sweeping the injection interval maps
+//! out the whole curve: flat near idle, rising as channel queues and
+//! the MSHR window fill, diverging at saturation.
+//!
+//! **Monotonicity guarantee.** Request addresses come from the same
+//! fixed-seed trace at every rate, and every timing component below the
+//! L2 (channel queues, banks, buses, the outstanding-request window)
+//! composes arrival times with `max` and `+` only. Completion times are
+//! therefore max-plus-linear in the arrival schedule: with arrivals
+//! `i * interval`, each request's latency is a maximum of terms
+//! `(j - i) * interval + K` with `j <= i`, which is non-increasing in
+//! the interval. Average loaded latency is thus *exactly* monotone
+//! non-decreasing in injected bandwidth — asserted per design family in
+//! `tests/loaded_latency.rs`.
+
+use fc_dram::DramStats;
+use fc_trace::{TraceGenerator, WorkloadKind};
+use fc_types::BLOCK_SIZE;
+
+use crate::design::DesignSpec;
+use crate::MemorySystem;
+
+/// Bytes per second per (core-cycle interval of 1): a 64-byte request
+/// every cycle at 3 GHz. `injected_gbs = BYTES_PER_CYCLE_GBS / interval`.
+const PEAK_GBS_AT_UNIT_INTERVAL: f64 = BLOCK_SIZE as f64 * fc_dram::CORE_GHZ;
+
+/// Sizing of one loaded-latency run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadedConfig {
+    /// Workload whose access stream is injected.
+    pub workload: WorkloadKind,
+    /// Trace seed.
+    pub seed: u64,
+    /// Requests injected to warm the cache and the queues (unmeasured).
+    pub warmup: u64,
+    /// Requests measured.
+    pub requests: u64,
+    /// Cores the trace synthesizer models.
+    pub cores: u8,
+    /// Outstanding-request window of the memory system under test.
+    pub window: usize,
+}
+
+impl LoadedConfig {
+    /// A small configuration for tests (2k warmup + 2k measured).
+    pub fn tiny() -> Self {
+        Self {
+            workload: WorkloadKind::WebSearch,
+            seed: 42,
+            warmup: 2_000,
+            requests: 2_000,
+            cores: 4,
+            window: MemorySystem::DEFAULT_WINDOW,
+        }
+    }
+
+    /// The sizing used by `fc_sweep --grid loaded` at quick scale.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 20_000,
+            requests: 20_000,
+            cores: 16,
+            ..Self::tiny()
+        }
+    }
+
+    /// The sizing used for checked-in loaded-latency figures.
+    pub fn full() -> Self {
+        Self {
+            warmup: 100_000,
+            requests: 200_000,
+            cores: 16,
+            ..Self::tiny()
+        }
+    }
+}
+
+/// Injection intervals (core cycles between 64-byte requests) swept by
+/// the standard loaded-latency curve, descending = increasing load:
+/// 2 GB/s up to the stacked channel's aggregate-class rates. Integer
+/// intervals keep arrival schedules exactly linear (see the module
+/// docs' monotonicity argument).
+pub const STANDARD_INTERVALS: [u64; 9] = [96, 48, 24, 16, 12, 8, 6, 4, 2];
+
+/// Converts an injection interval in cycles to GB/s of demanded data.
+pub fn interval_to_gbs(interval: u64) -> f64 {
+    PEAK_GBS_AT_UNIT_INTERVAL / interval as f64
+}
+
+/// One measured point of a loaded-latency curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadedPoint {
+    /// Cycles between injected requests.
+    pub interval: u64,
+    /// Injected (offered) demand bandwidth in GB/s.
+    pub injected_gbs: f64,
+    /// Achieved demand bandwidth in GB/s: demanded bytes over the
+    /// measured makespan. Tracks `injected_gbs` until saturation, then
+    /// plateaus at the design's usable bandwidth.
+    pub achieved_gbs: f64,
+    /// Mean demand latency in core cycles (arrival to data ready).
+    pub avg_latency: f64,
+    /// Worst single-request latency in the measured window.
+    pub max_latency: u64,
+    /// Requests measured.
+    pub requests: u64,
+    /// Measured steady-state span in cycles (first measured completion
+    /// to last), so warmup backlog does not pollute rate estimates.
+    pub cycles: u64,
+    /// Stacked-DRAM counters over the measured window.
+    pub stacked: DramStats,
+    /// Off-chip counters over the measured window.
+    pub offchip: DramStats,
+    /// Stacked channel count (for utilization normalization).
+    pub stacked_channels: usize,
+    /// Off-chip channel count.
+    pub offchip_channels: usize,
+}
+
+impl LoadedPoint {
+    /// Mean stacked-DRAM bus utilization over the measured window.
+    pub fn stacked_util(&self) -> f64 {
+        self.stacked
+            .bus_utilization(self.cycles, self.stacked_channels)
+    }
+
+    /// Mean off-chip bus utilization over the measured window.
+    pub fn offchip_util(&self) -> f64 {
+        self.offchip
+            .bus_utilization(self.cycles, self.offchip_channels)
+    }
+}
+
+/// Measures one loaded-latency point: builds `design`'s memory system,
+/// injects `cfg.warmup + cfg.requests` demand accesses from the
+/// workload's fixed-seed trace at one request per `interval` cycles,
+/// and reports latency/bandwidth over the measured portion.
+pub fn measure(design: &DesignSpec, interval: u64, cfg: &LoadedConfig) -> LoadedPoint {
+    assert!(interval > 0, "injection interval must be at least 1 cycle");
+    let mut memsys = design.build().with_window(cfg.window);
+    let mut generator = TraceGenerator::new(cfg.workload, cfg.cores, cfg.seed);
+
+    for i in 0..cfg.warmup {
+        let r = generator.next().expect("generator is infinite");
+        memsys.demand_access(r.access(), i * interval);
+    }
+
+    let start_stacked = memsys.stacked_stats();
+    let start_offchip = memsys.offchip_stats();
+    let mut latency_sum = 0u128;
+    let mut max_latency = 0u64;
+    let mut first_ready = u64::MAX;
+    let mut last_ready = 0u64;
+    for i in 0..cfg.requests {
+        let r = generator.next().expect("generator is infinite");
+        let arrival = (cfg.warmup + i) * interval;
+        let ready = memsys.demand_access(r.access(), arrival);
+        let latency = ready - arrival;
+        latency_sum += latency as u128;
+        max_latency = max_latency.max(latency);
+        // Completions are not request-ordered (hits overtake misses),
+        // so the steady-state span runs from the *earliest* measured
+        // completion to the latest.
+        first_ready = first_ready.min(ready);
+        last_ready = last_ready.max(ready);
+    }
+
+    let cycles = last_ready - first_ready.min(last_ready);
+    let bytes = cfg.requests * BLOCK_SIZE as u64;
+    let achieved_gbs = if cycles == 0 {
+        0.0
+    } else {
+        bytes as f64 * fc_dram::CORE_GHZ / cycles as f64
+    };
+    let stacked = memsys.stacked_stats().delta_since(&start_stacked);
+    let offchip = memsys.offchip_stats().delta_since(&start_offchip);
+    LoadedPoint {
+        interval,
+        injected_gbs: interval_to_gbs(interval),
+        achieved_gbs,
+        avg_latency: latency_sum as f64 / cfg.requests.max(1) as f64,
+        max_latency,
+        requests: cfg.requests,
+        cycles,
+        stacked,
+        offchip,
+        stacked_channels: design
+            .stacked
+            .map(|s| s.resolve().mapping.channels())
+            .unwrap_or(0),
+        offchip_channels: design.offchip.resolve().mapping.channels(),
+    }
+}
+
+/// Measures the whole standard curve for one design, low load first.
+pub fn curve(design: &DesignSpec, cfg: &LoadedConfig) -> Vec<LoadedPoint> {
+    STANDARD_INTERVALS
+        .iter()
+        .map(|&interval| measure(design, interval, cfg))
+        .collect()
+}
+
+/// The design's usable bandwidth: the best achieved rate anywhere on a
+/// measured curve (GB/s).
+pub fn usable_bandwidth(curve: &[LoadedPoint]) -> f64 {
+    curve.iter().map(|p| p.achieved_gbs).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_maps_to_bandwidth() {
+        assert!((interval_to_gbs(96) - 2.0).abs() < 1e-9);
+        assert!((interval_to_gbs(2) - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loaded_point_measures_latency_and_bandwidth() {
+        let cfg = LoadedConfig::tiny();
+        let p = measure(&DesignSpec::footprint(64), 96, &cfg);
+        assert_eq!(p.requests, cfg.requests);
+        assert!(p.avg_latency > 0.0);
+        assert!(p.max_latency as f64 >= p.avg_latency);
+        // Near idle the system keeps up: achieved ~ injected.
+        assert!(p.achieved_gbs <= p.injected_gbs * 1.01);
+        assert!(p.achieved_gbs > p.injected_gbs * 0.5);
+    }
+
+    #[test]
+    fn heavier_load_never_lowers_latency() {
+        let cfg = LoadedConfig::tiny();
+        let light = measure(&DesignSpec::page(64), 96, &cfg);
+        let heavy = measure(&DesignSpec::page(64), 4, &cfg);
+        assert!(
+            heavy.avg_latency >= light.avg_latency,
+            "loaded latency must not drop under load: {} vs {}",
+            heavy.avg_latency,
+            light.avg_latency
+        );
+        assert!(heavy.stacked_util() >= light.stacked_util());
+    }
+
+    #[test]
+    fn baseline_design_has_no_stacked_traffic() {
+        let p = measure(&DesignSpec::baseline(), 48, &LoadedConfig::tiny());
+        assert_eq!(p.stacked.accesses, 0);
+        assert_eq!(p.stacked_channels, 0);
+        assert!(p.offchip.accesses > 0);
+        assert!(p.offchip_util() > 0.0);
+    }
+
+    #[test]
+    fn usable_bandwidth_is_curve_maximum() {
+        let pts = curve(&DesignSpec::footprint(64), &LoadedConfig::tiny());
+        assert_eq!(pts.len(), STANDARD_INTERVALS.len());
+        let best = usable_bandwidth(&pts);
+        assert!(pts.iter().all(|p| p.achieved_gbs <= best));
+        assert!(best > 0.0);
+    }
+}

@@ -1,18 +1,61 @@
 //! The memory system: a DRAM cache design plus the stacked and off-chip
-//! DRAM timing models, glued together by the plan executor.
+//! DRAM timing models, glued together by the plan executor behind an
+//! MSHR-style outstanding-request window.
 
 use fc_cache::{AccessPlan, DramCacheModel, MemOp, MemTarget, OpFlavor};
-use fc_dram::{DramConfig, DramStats, DramSystem, EnergyBreakdown};
+use fc_dram::{BoundedQueue, DramConfig, DramStats, DramSystem, EnergyBreakdown};
 use fc_types::{MemAccess, PhysAddr, BLOCK_SIZE};
+
+/// The MSHR-style outstanding-request window shared by every requester
+/// below the L2: demand accesses, fills, and writebacks each occupy one
+/// entry from acceptance until their last DRAM operation completes.
+/// Admission rides on [`BoundedQueue`] — the same max-plus FIFO-release
+/// recurrence the channel request queues use — with stall accounting on
+/// top, so completion times stay exactly monotone in arrival times.
+#[derive(Clone, Debug)]
+struct RequestWindow {
+    queue: BoundedQueue,
+    stall_cycles: u64,
+    admissions: u64,
+}
+
+impl RequestWindow {
+    fn new(capacity: usize) -> Self {
+        Self {
+            queue: BoundedQueue::new(capacity),
+            stall_cycles: 0,
+            admissions: 0,
+        }
+    }
+
+    /// Admits a request arriving at `at`; returns when it may start.
+    fn admit(&mut self, at: u64) -> u64 {
+        self.admissions += 1;
+        let start = self.queue.admit(at);
+        self.stall_cycles += start - at;
+        start
+    }
+
+    /// Records the admitted request's final completion time.
+    fn retire(&mut self, done: u64) {
+        self.queue.push(done);
+    }
+}
 
 /// A complete pod memory system below the L2.
 pub struct MemorySystem {
     cache: Box<dyn DramCacheModel + Send>,
     stacked: Option<DramSystem>,
     offchip: DramSystem,
+    window: RequestWindow,
 }
 
 impl MemorySystem {
+    /// Default outstanding-request window capacity: enough for every
+    /// core's MSHRs to overlap under light load, small enough that a
+    /// saturated pod queues (Table 3's 16 cores x 8 MSHRs halved).
+    pub const DEFAULT_WINDOW: usize = 64;
+
     /// Assembles a memory system. `stacked` is `None` for the baseline
     /// (no die-stacked DRAM).
     pub fn new(
@@ -24,7 +67,24 @@ impl MemorySystem {
             cache,
             stacked: stacked.map(DramSystem::new),
             offchip: DramSystem::new(offchip),
+            window: RequestWindow::new(Self::DEFAULT_WINDOW),
         }
+    }
+
+    /// Resizes the outstanding-request window (builder-style).
+    pub fn with_window(mut self, capacity: usize) -> Self {
+        self.window = RequestWindow::new(capacity);
+        self
+    }
+
+    /// Cycles requests spent stalled on a full outstanding window.
+    pub fn window_stall_cycles(&self) -> u64 {
+        self.window.stall_cycles
+    }
+
+    /// Requests admitted through the outstanding window.
+    pub fn window_admissions(&self) -> u64 {
+        self.window.admissions
     }
 
     /// The cache design.
@@ -56,40 +116,56 @@ impl MemorySystem {
     }
 
     /// A demand access arriving at cycle `at`; returns the cycle the
-    /// requested block is available to the L2.
+    /// requested block is available to the L2. The request first claims
+    /// an outstanding-window entry (stalling when the window is full),
+    /// which it holds until its last DRAM operation — demand, fill, or
+    /// eviction traffic — completes.
     pub fn demand_access(&mut self, req: MemAccess, at: u64) -> u64 {
         let plan = self.cache.access(req);
-        self.execute(&plan, at)
+        let start = self.window.admit(at);
+        let (ready, done) = self.execute(&plan, start);
+        self.window.retire(done);
+        ready
     }
 
     /// An L2 dirty-victim writeback arriving at cycle `at` (never stalls
-    /// the core; charged to banks/energy only).
+    /// the core; charged to banks/energy only — but it does occupy an
+    /// outstanding-window entry, so writeback bursts apply backpressure
+    /// to concurrent demand traffic).
     pub fn writeback(&mut self, addr: PhysAddr, at: u64) {
         let plan = self.cache.writeback(addr);
-        self.execute(&plan, at);
+        let start = self.window.admit(at);
+        let (_, done) = self.execute(&plan, start);
+        self.window.retire(done);
     }
 
     /// Executes a plan: critical ops serialize starting after the tag
-    /// lookup and determine the returned completion time; background ops
-    /// start concurrently at the same point.
-    fn execute(&mut self, plan: &AccessPlan, at: u64) -> u64 {
+    /// lookup and determine the returned critical completion; background
+    /// ops start concurrently at the same point. Returns `(critical,
+    /// last)`: the critical-path data-ready cycle and the cycle the last
+    /// op (background traffic included) finishes transferring.
+    fn execute(&mut self, plan: &AccessPlan, at: u64) -> (u64, u64) {
         let start = at + plan.tag_latency as u64;
         let mut t = start;
+        let mut last = start;
         for op in &plan.critical {
-            t = self.run_op(op, t);
+            let (ready, done) = self.run_op(op, t);
+            t = ready;
+            last = last.max(done);
         }
         for op in &plan.background {
-            self.run_op(op, start);
+            let (_, done) = self.run_op(op, start);
+            last = last.max(done);
         }
-        t
+        (t, last)
     }
 
     /// Runs one op, splitting multi-row transfers at row boundaries.
     /// The row size comes from the target DRAM's configuration, so
     /// designs with non-2 KB row geometries split correctly. Returns
     /// when the *first* block's data is available (critical-block-first
-    /// for demand fetches).
-    fn run_op(&mut self, op: &MemOp, at: u64) -> u64 {
+    /// for demand fetches) and when the op's last block has moved.
+    fn run_op(&mut self, op: &MemOp, at: u64) -> (u64, u64) {
         let sys = match op.target {
             MemTarget::Stacked => self
                 .stacked
@@ -111,15 +187,17 @@ impl MemorySystem {
         // Remaining rows (e.g., a 4 KB page spans two 2 KB rows):
         // streamed after the first chunk, off the critical path of the
         // demanded block.
-        let mut done = op.blocks - first_chunk;
+        let mut last_done = completion.done;
+        let mut remaining = op.blocks - first_chunk;
         let mut addr = op.addr.raw() + first_chunk as u64 * BLOCK_SIZE as u64;
-        while done > 0 {
-            let chunk = done.min(row_blocks);
-            sys.access(PhysAddr::new(addr), op.kind, chunk, at);
+        while remaining > 0 {
+            let chunk = remaining.min(row_blocks);
+            let c = sys.access(PhysAddr::new(addr), op.kind, chunk, at);
+            last_done = last_done.max(c.done);
             addr += chunk as u64 * BLOCK_SIZE as u64;
-            done -= chunk;
+            remaining -= chunk;
         }
-        completion.data_ready
+        (completion.data_ready, last_done)
     }
 }
 
@@ -217,6 +295,50 @@ mod tests {
         m.demand_access(read(0x10000), 0);
         assert_eq!(m.offchip_stats().read_blocks, 64);
         assert_eq!(m.offchip_stats().activates, 1, "one 4 KB row, one ACT");
+    }
+
+    #[test]
+    fn full_window_applies_backpressure() {
+        let build = |window| {
+            MemorySystem::new(
+                Box::new(NoCache::new()),
+                None,
+                DramConfig::off_chip_ddr3_1600(),
+            )
+            .with_window(window)
+        };
+        // Many same-cycle independent misses: with a one-entry window
+        // they serialize; with a wide window they overlap across banks.
+        let mut narrow = build(1);
+        let mut wide = build(64);
+        let mut narrow_done = 0;
+        let mut wide_done = 0;
+        for i in 0..8u64 {
+            narrow_done = narrow.demand_access(read(0x10000 + i * 64), 0);
+            wide_done = wide.demand_access(read(0x10000 + i * 64), 0);
+        }
+        assert!(
+            narrow_done > wide_done,
+            "narrow {narrow_done} must trail wide {wide_done}"
+        );
+        assert!(narrow.window_stall_cycles() > 0);
+        assert_eq!(narrow.window_admissions(), 8);
+        assert_eq!(wide.window_stall_cycles(), 0);
+    }
+
+    #[test]
+    fn writebacks_occupy_window_entries() {
+        let mut m = MemorySystem::new(
+            Box::new(NoCache::new()),
+            None,
+            DramConfig::off_chip_ddr3_1600(),
+        )
+        .with_window(1);
+        m.writeback(PhysAddr::new(0x9000), 0);
+        // The demand access behind the writeback stalls on the window.
+        m.demand_access(read(0x8000), 0);
+        assert!(m.window_stall_cycles() > 0);
+        assert_eq!(m.window_admissions(), 2);
     }
 
     #[test]

@@ -166,6 +166,83 @@ impl SimReport {
             self.stacked_energy.total_nj() / self.insts as f64
         }
     }
+
+    /// Serializes every counter as canonical, pretty-printed JSON with
+    /// a fixed field order. This is the golden-stats format: the
+    /// `tests/golden_stats.rs` harness compares this string against the
+    /// committed per-design goldens (regenerate with `UPDATE_GOLDEN=1`).
+    pub fn to_canonical_json(&self) -> String {
+        let dram = |d: &DramStats| {
+            format!(
+                "{{\"accesses\": {}, \"activates\": {}, \"row_hits\": {}, \
+                 \"row_misses\": {}, \"read_blocks\": {}, \"write_blocks\": {}, \
+                 \"compound_accesses\": {}, \"busy_cycles\": {}, \
+                 \"queue_delay_cycles\": {}, \"queue_hist\": {}}}",
+                d.accesses,
+                d.activates,
+                d.row_hits,
+                d.row_misses,
+                d.read_blocks,
+                d.write_blocks,
+                d.compound_accesses,
+                d.busy_cycles,
+                d.queue_delay_cycles,
+                d.queue_hist.to_json(),
+            )
+        };
+        let energy = |e: &EnergyReport| {
+            format!(
+                "{{\"act_pre_nj\": {}, \"burst_nj\": {}}}",
+                e.act_pre_nj, e.burst_nj
+            )
+        };
+        let c = &self.cache;
+        let density: Vec<String> = c.density.bins().iter().map(|b| b.to_string()).collect();
+        let cache = format!(
+            "{{\"accesses\": {}, \"hits\": {}, \"misses\": {}, \"bypasses\": {}, \
+             \"evictions\": {}, \"dirty_evictions\": {}, \"fill_blocks\": {}, \
+             \"offchip_read_blocks\": {}, \"offchip_write_blocks\": {}, \
+             \"stacked_read_blocks\": {}, \"stacked_write_blocks\": {}, \
+             \"density_bins\": [{}]}}",
+            c.accesses,
+            c.hits,
+            c.misses,
+            c.bypasses,
+            c.evictions,
+            c.dirty_evictions,
+            c.fill_blocks,
+            c.offchip_read_blocks,
+            c.offchip_write_blocks,
+            c.stacked_read_blocks,
+            c.stacked_write_blocks,
+            density.join(", "),
+        );
+        let prediction = match &self.prediction {
+            Some(p) => format!(
+                "{{\"covered\": {}, \"overpredicted\": {}, \"underpredicted\": {}, \
+                 \"singleton_bypasses\": {}, \"singleton_promotions\": {}}}",
+                p.covered,
+                p.overpredicted,
+                p.underpredicted,
+                p.singleton_bypasses,
+                p.singleton_promotions
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"insts\": {},\n  \"cycles\": {},\n  \"cache\": {},\n  \
+             \"offchip\": {},\n  \"stacked\": {},\n  \"offchip_energy\": {},\n  \
+             \"stacked_energy\": {},\n  \"prediction\": {}\n}}\n",
+            self.insts,
+            self.cycles,
+            cache,
+            dram(&self.offchip),
+            dram(&self.stacked),
+            energy(&self.offchip_energy),
+            energy(&self.stacked_energy),
+            prediction,
+        )
+    }
 }
 
 fn diff_cache(now: &DramCacheStats, since: &DramCacheStats) -> DramCacheStats {
@@ -199,14 +276,7 @@ fn diff_density(now: &DramCacheStats, since: &DramCacheStats) -> fc_cache::Densi
 }
 
 fn diff_dram(now: &DramStats, since: &DramStats) -> DramStats {
-    DramStats {
-        activates: now.activates - since.activates,
-        row_hits: now.row_hits - since.row_hits,
-        row_misses: now.row_misses - since.row_misses,
-        read_blocks: now.read_blocks - since.read_blocks,
-        write_blocks: now.write_blocks - since.write_blocks,
-        compound_accesses: now.compound_accesses - since.compound_accesses,
-    }
+    now.delta_since(since)
 }
 
 #[cfg(test)]

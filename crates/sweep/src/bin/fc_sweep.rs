@@ -12,12 +12,17 @@
 use std::io::Write;
 use std::time::Instant;
 
+use fc_sim::loaded::LoadedConfig;
 use fc_sim::registry::{resolve_designs, DESIGN_FAMILIES};
-use fc_sweep::{emit, DesignSpec, RunScale, SweepEngine, SweepResult, SweepSpec, WorkloadKind};
+use fc_sweep::{
+    emit, DesignSpec, LoadedGrid, RunScale, SweepEngine, SweepResult, SweepSpec, WorkloadKind,
+};
 
 const USAGE: &str = "\
 usage: fc_sweep [options]
-  --grid NAME        preset grid: fig4 | fig5 | fig67 | designspace (default fig4)
+  --grid NAME        preset grid: fig4 | fig5 | fig67 | designspace | loaded
+                     (default fig4; `loaded` sweeps latency vs injected
+                     bandwidth instead of trace replay)
   --designs LIST     comma list of design families from the registry
                      (see --list-designs); overrides the preset's designs
   --capacities LIST  comma list of MB values (default 64,128,256,512)
@@ -130,6 +135,116 @@ fn print_summary(results: &[SweepResult]) {
     }
 }
 
+/// Default design families of the loaded-latency curve: every family
+/// with a bandwidth story, including the related-work designs.
+const LOADED_DESIGNS: &str = "block,page,footprint,alloy,banshee,gemini";
+
+/// Runs `--grid loaded`: latency-vs-injected-bandwidth curves per
+/// design, emitted with the loaded emitters (`BENCH_bandwidth.json`).
+#[allow(clippy::too_many_arguments)]
+fn run_loaded_grid(
+    designs_arg: &Option<String>,
+    capacities: &[u64],
+    workloads: &[WorkloadKind],
+    scale: RunScale,
+    threads: Option<usize>,
+    seed: u64,
+    speedup: bool,
+    json_path: &Option<String>,
+    csv_path: &Option<String>,
+    bench_path: &Option<String>,
+    list_only: bool,
+) {
+    let designs = parse_designs(designs_arg.as_deref().unwrap_or(LOADED_DESIGNS), capacities);
+    if speedup {
+        eprintln!(
+            "[fc_sweep] note: --speedup applies to trace-replay grids only; \
+             the loaded grid's 1-vs-N-thread bit-equality is covered by \
+             tests/sweep_determinism.rs"
+        );
+    }
+    if workloads.len() > 1 {
+        eprintln!(
+            "[fc_sweep] note: the loaded grid injects one workload per run; \
+             using `{}` and ignoring the other {} (pass --workloads NAME to pick)",
+            workloads[0],
+            workloads.len() - 1
+        );
+    }
+    let config = LoadedConfig {
+        workload: workloads[0],
+        seed,
+        ..fc_sweep::loaded::config_for_scale(scale)
+    };
+    let grid = LoadedGrid::standard(designs, config);
+
+    if list_only {
+        for d in &grid.designs {
+            for &interval in &grid.intervals {
+                println!(
+                    "{} @ {:.1} GB/s (interval {interval})",
+                    d.label(),
+                    fc_sim::loaded::interval_to_gbs(interval)
+                );
+            }
+        }
+        eprintln!("[fc_sweep] {} points", grid.len());
+        return;
+    }
+
+    let workers = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    eprintln!(
+        "[fc_sweep] grid loaded: {} points ({} designs x {} rates) on {} thread(s), workload {}",
+        grid.len(),
+        grid.designs.len(),
+        grid.intervals.len(),
+        workers,
+        config.workload,
+    );
+    let started = Instant::now();
+    let results = fc_sweep::run_loaded(&grid, workers);
+    let wall_secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[fc_sweep] {} loaded points in {wall_secs:.2}s",
+        results.len()
+    );
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "design", "inject", "achieve", "avg latency", "stack util", "off util"
+    );
+    for r in &results {
+        let p = &r.point;
+        println!(
+            "{:<28} {:>9.1}G {:>9.1}G {:>12.1} {:>9.1}% {:>9.1}%",
+            r.design.label(),
+            p.injected_gbs,
+            p.achieved_gbs,
+            p.avg_latency,
+            p.stacked_util() * 100.0,
+            p.offchip_util() * 100.0,
+        );
+    }
+
+    let workload = config.workload.to_string();
+    if let Some(path) = json_path {
+        write_file(path, &emit::to_loaded_json(&results, &workload));
+    }
+    if let Some(path) = csv_path {
+        write_file(path, &emit::to_loaded_csv(&results, &workload));
+    }
+    if let Some(path) = bench_path {
+        write_file(
+            path,
+            &emit::to_bandwidth_bench_json(&results, &workload, wall_secs),
+        );
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut grid = "fig4".to_string();
@@ -209,6 +324,23 @@ fn main() {
 
     if list_designs {
         print_design_catalogue();
+        return;
+    }
+
+    if grid == "loaded" {
+        run_loaded_grid(
+            &designs_arg,
+            &capacities,
+            &workloads,
+            scale,
+            threads,
+            seed,
+            speedup,
+            &json_path,
+            &csv_path,
+            &bench_path,
+            list_only,
+        );
         return;
     }
 

@@ -18,6 +18,11 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// Renders a queueing-delay histogram as a JSON array of bin counts.
+fn hist_json(h: &fc_dram::QueueDelayHist) -> String {
+    h.to_json()
+}
+
 /// Renders results as a JSON array (one object per point).
 pub fn to_json(results: &[SweepResult]) -> String {
     let mut out = String::from("[\n");
@@ -49,6 +54,9 @@ pub fn to_json(results: &[SweepResult]) -> String {
              \"offchip_energy_nj\": {oe}, \"stacked_energy_nj\": {se}, \
              \"stacked_row_hit_ratio\": {rh}, \
              \"stacked_compound_accesses\": {compound}, \
+             \"offchip_busy_cycles\": {obusy}, \"stacked_busy_cycles\": {sbusy}, \
+             \"offchip_avg_queue_delay\": {oqd}, \"stacked_avg_queue_delay\": {sqd}, \
+             \"offchip_queue_hist\": {ohist}, \"stacked_queue_hist\": {shist}, \
              \"prediction\": {prediction}}}{comma}\n",
             workload = json_escape(&p.workload.to_string()),
             design = json_escape(&p.design.label()),
@@ -68,6 +76,12 @@ pub fn to_json(results: &[SweepResult]) -> String {
             se = json_num(rep.stacked_energy.total_nj()),
             rh = json_num(rep.stacked.row_hit_ratio()),
             compound = rep.stacked.compound_accesses,
+            obusy = rep.offchip.busy_cycles,
+            sbusy = rep.stacked.busy_cycles,
+            oqd = json_num(rep.offchip.avg_queue_delay()),
+            sqd = json_num(rep.stacked.avg_queue_delay()),
+            ohist = hist_json(&rep.offchip.queue_hist),
+            shist = hist_json(&rep.stacked.queue_hist),
             comma = if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -90,13 +104,15 @@ pub fn to_csv(results: &[SweepResult]) -> String {
         "workload,design,capacity_mb,seed,warmup_records,measured_records,\
          insts,cycles,throughput,miss_ratio,hit_ratio,\
          offchip_bytes_per_inst,stacked_bytes_per_inst,\
-         offchip_energy_nj,stacked_energy_nj,stacked_row_hit_ratio\n",
+         offchip_energy_nj,stacked_energy_nj,stacked_row_hit_ratio,\
+         offchip_busy_cycles,stacked_busy_cycles,\
+         offchip_avg_queue_delay,stacked_avg_queue_delay\n",
     );
     for r in results {
         let p = &r.point;
         let rep = &r.report;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.6}\n",
+            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.6},{},{},{:.3},{:.3}\n",
             csv_escape(&p.workload.to_string()),
             csv_escape(&p.design.label()),
             p.capacity_mb(),
@@ -113,6 +129,10 @@ pub fn to_csv(results: &[SweepResult]) -> String {
             rep.offchip_energy.total_nj(),
             rep.stacked_energy.total_nj(),
             rep.stacked.row_hit_ratio(),
+            rep.offchip.busy_cycles,
+            rep.stacked.busy_cycles,
+            rep.offchip.avg_queue_delay(),
+            rep.stacked.avg_queue_delay(),
         ));
     }
     out
@@ -236,6 +256,110 @@ pub fn to_bench_json(
     )
 }
 
+/// Renders loaded-latency results as a JSON array (one object per
+/// `(design, interval)` point, in grid order). `workload` names the
+/// injected access stream (one per loaded grid).
+pub fn to_loaded_json(results: &[crate::LoadedResult], workload: &str) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let p = &r.point;
+        out.push_str(&format!(
+            "  {{\"workload\": \"{workload}\", \"design\": \"{design}\", \"interval\": {interval}, \
+             \"injected_gbs\": {inj}, \"achieved_gbs\": {ach}, \
+             \"avg_latency\": {avg}, \"max_latency\": {max}, \
+             \"requests\": {reqs}, \"cycles\": {cycles}, \
+             \"stacked_util\": {sutil}, \"offchip_util\": {outil}, \
+             \"stacked_avg_queue_delay\": {sqd}, \"offchip_avg_queue_delay\": {oqd}, \
+             \"stacked_queue_hist\": {shist}, \"offchip_queue_hist\": {ohist}}}{comma}\n",
+            workload = json_escape(workload),
+            design = json_escape(&r.design.label()),
+            interval = p.interval,
+            inj = json_num(p.injected_gbs),
+            ach = json_num(p.achieved_gbs),
+            avg = json_num(p.avg_latency),
+            max = p.max_latency,
+            reqs = p.requests,
+            cycles = p.cycles,
+            sutil = json_num(p.stacked_util()),
+            outil = json_num(p.offchip_util()),
+            sqd = json_num(p.stacked.avg_queue_delay()),
+            oqd = json_num(p.offchip.avg_queue_delay()),
+            shist = hist_json(&p.stacked.queue_hist),
+            ohist = hist_json(&p.offchip.queue_hist),
+            comma = if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders loaded-latency results as CSV with a header row.
+pub fn to_loaded_csv(results: &[crate::LoadedResult], workload: &str) -> String {
+    let mut out = String::from(
+        "workload,design,interval,injected_gbs,achieved_gbs,avg_latency,max_latency,\
+         requests,cycles,stacked_util,offchip_util,\
+         stacked_avg_queue_delay,offchip_avg_queue_delay\n",
+    );
+    for r in results {
+        let p = &r.point;
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.3},{:.3},{},{},{},{:.6},{:.6},{:.3},{:.3}\n",
+            csv_escape(workload),
+            csv_escape(&r.design.label()),
+            p.interval,
+            p.injected_gbs,
+            p.achieved_gbs,
+            p.avg_latency,
+            p.max_latency,
+            p.requests,
+            p.cycles,
+            p.stacked_util(),
+            p.offchip_util(),
+            p.stacked.avg_queue_delay(),
+            p.offchip.avg_queue_delay(),
+        ));
+    }
+    out
+}
+
+/// Renders the bandwidth benchmark summary for a loaded-latency grid:
+/// per design, the unloaded latency (flat end of the curve), the usable
+/// bandwidth (best achieved rate), and the latency at the heaviest
+/// injected load. CI emits this as `BENCH_bandwidth.json`, so each
+/// design's bandwidth trajectory is tracked per commit next to
+/// `BENCH_designspace.json`'s throughput trajectory.
+pub fn to_bandwidth_bench_json(
+    results: &[crate::LoadedResult],
+    workload: &str,
+    wall_secs: f64,
+) -> String {
+    let grouped = crate::loaded::curves(results);
+    let mut designs = String::new();
+    for (i, (design, curve)) in grouped.iter().enumerate() {
+        let unloaded = curve.first().map(|p| p.avg_latency).unwrap_or(0.0);
+        let loaded = curve.last().map(|p| p.avg_latency).unwrap_or(0.0);
+        let usable: f64 = curve.iter().map(|p| p.achieved_gbs).fold(0.0, f64::max);
+        designs.push_str(&format!(
+            "    {{\"design\": \"{}\", \"points\": {}, \"unloaded_latency\": {}, \
+             \"loaded_latency\": {}, \"usable_gbs\": {}}}{}\n",
+            json_escape(&design.label()),
+            curve.len(),
+            json_num(unloaded),
+            json_num(loaded),
+            json_num(usable),
+            if i + 1 == grouped.len() { "" } else { "," },
+        ));
+    }
+    format!(
+        "{{\n  \"grid\": \"loaded\",\n  \"workload\": \"{}\",\n  \"total_points\": {},\n  \
+         \"wall_secs\": {},\n  \"designs\": [\n{}  ]\n}}\n",
+        json_escape(workload),
+        results.len(),
+        json_num(wall_secs),
+        designs,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +427,34 @@ mod tests {
         assert!(bench.contains("\"factor\": 2"));
         // The grid includes the baseline, so speedups are reported.
         assert!(!bench.contains("\"geomean_speedup_vs_baseline\": null"));
+    }
+
+    #[test]
+    fn loaded_emitters_cover_every_point() {
+        use fc_sim::loaded::LoadedConfig;
+        let grid = crate::LoadedGrid {
+            designs: vec![DesignSpec::baseline(), DesignSpec::page(64)],
+            intervals: vec![96, 8],
+            config: LoadedConfig {
+                warmup: 300,
+                requests: 300,
+                ..LoadedConfig::tiny()
+            },
+        };
+        let results = crate::run_loaded(&grid, 2);
+        let json = to_loaded_json(&results, "web search");
+        assert_eq!(json.matches("\"design\"").count(), 4);
+        assert!(json.contains("\"injected_gbs\""));
+        assert!(json.contains("\"stacked_queue_hist\""));
+        assert!(json.contains("\"workload\": \"web search\""));
+        let csv = to_loaded_csv(&results, "web search");
+        assert_eq!(csv.lines().count(), 5); // header + 4 rows
+        assert!(csv.starts_with("workload,design,"));
+        let bench = to_bandwidth_bench_json(&results, "web search", 0.25);
+        assert!(bench.contains("\"grid\": \"loaded\""));
+        assert!(bench.contains("\"workload\": \"web search\""));
+        assert!(bench.contains("\"usable_gbs\""));
+        assert_eq!(bench.matches("\"unloaded_latency\"").count(), 2);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 pub mod emit;
 mod executor;
+pub mod loaded;
 mod progress;
 mod scale;
 mod spec;
@@ -57,6 +58,7 @@ mod store;
 mod trace_cache;
 
 pub use executor::{SweepEngine, SweepResult};
+pub use loaded::{run_loaded, LoadedGrid, LoadedResult};
 pub use progress::Progress;
 pub use scale::RunScale;
 pub use spec::{SweepPoint, SweepSpec};

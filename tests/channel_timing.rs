@@ -1,0 +1,159 @@
+//! Property tests for the queued DRAM channel's timing invariants
+//! (vendored proptest): completion monotonicity in issue cycle, row-hit
+//! vs activate accounting, tFAW activation-rate limits, and access
+//! conservation — the regression net under the queued engine.
+
+use proptest::prelude::*;
+
+use fc_dram::{Channel, DramTimings, RowPolicy};
+use fc_types::AccessKind;
+
+/// A compact random access: (bank, row, write, blocks, arrival gap).
+type Op = (usize, u64, bool, u32, u64);
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0usize..8, 0u64..8, proptest::bool::ANY, 1u32..9, 0u64..300),
+        1..80,
+    )
+}
+
+fn channel(policy: RowPolicy, queue_depth: usize) -> Channel {
+    Channel::new(
+        DramTimings::ddr3_3200_stacked().to_core_cycles(),
+        policy,
+        8,
+        queue_depth,
+    )
+    .with_activate_log()
+}
+
+fn kind(write: bool) -> AccessKind {
+    if write {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Completions are monotone in issue cycle: replaying the same
+    /// access stream with every arrival shifted later can only move
+    /// every completion later (the channel is a max-plus system).
+    #[test]
+    fn completions_monotone_in_issue_cycle(
+        ops in ops_strategy(),
+        shift in 1u64..5_000,
+        depth in 1usize..24,
+    ) {
+        let mut early = channel(RowPolicy::Open, depth);
+        let mut late = channel(RowPolicy::Open, depth);
+        let mut now = 0u64;
+        for &(bank, row, write, blocks, gap) in &ops {
+            now += gap;
+            let a = early.access(bank, row, kind(write), blocks, now);
+            let b = late.access(bank, row, kind(write), blocks, now + shift);
+            prop_assert!(
+                b.data_ready >= a.data_ready && b.done >= a.done,
+                "late issue finished earlier: {:?} vs {:?}", b, a
+            );
+            prop_assert!(
+                b.data_ready <= a.data_ready + shift && b.done <= a.done + shift,
+                "a uniform shift can delay completions by at most the shift"
+            );
+        }
+    }
+
+    /// A row hit never counts an activation: the activate counter moves
+    /// exactly when `row_hit` is false.
+    #[test]
+    fn row_hit_implies_no_activate(ops in ops_strategy()) {
+        for policy in [RowPolicy::Open, RowPolicy::Closed] {
+            let mut ch = channel(policy, 16);
+            let mut now = 0u64;
+            for &(bank, row, write, blocks, gap) in &ops {
+                now += gap;
+                let before = ch.stats().activates;
+                let c = ch.access(bank, row, kind(write), blocks, now);
+                let delta = ch.stats().activates - before;
+                prop_assert_eq!(delta, u64::from(!c.row_hit),
+                    "row_hit={} must mean {} activates", c.row_hit, u64::from(!c.row_hit));
+            }
+        }
+    }
+
+    /// Rank-level activation throttling: at most 4 activates begin in
+    /// any tFAW window, and same-rank activates respect tRRD.
+    #[test]
+    fn at_most_four_activates_per_tfaw_window(ops in ops_strategy()) {
+        let t = DramTimings::ddr3_3200_stacked().to_core_cycles();
+        let mut ch = channel(RowPolicy::Closed, 16);
+        let mut now = 0u64;
+        for &(bank, row, write, blocks, gap) in &ops {
+            now += gap;
+            ch.access(bank, row, kind(write), blocks, now);
+        }
+        let acts = ch.activate_times();
+        for w in acts.windows(2) {
+            prop_assert!(w[1] >= w[0], "activates issue in order");
+            prop_assert!(w[1] - w[0] >= t.t_rrd, "tRRD violated: {:?}", w);
+        }
+        // Sliding window: the 5th activate after any activate must be
+        // at least tFAW later.
+        for w in acts.windows(5) {
+            prop_assert!(
+                w[4] - w[0] >= t.t_faw,
+                "five activates within tFAW: {:?} (tFAW={})", w, t.t_faw
+            );
+        }
+    }
+
+    /// Conservation: row hits plus row misses equals accesses, misses
+    /// equal activates, and every access lands in the queue histogram.
+    #[test]
+    fn access_accounting_conserves(ops in ops_strategy(), depth in 1usize..24) {
+        let mut ch = channel(RowPolicy::Open, depth);
+        let mut now = 0u64;
+        for &(bank, row, write, blocks, gap) in &ops {
+            now += gap;
+            ch.access(bank, row, kind(write), blocks, now);
+        }
+        let s = ch.stats();
+        prop_assert_eq!(s.row_hits + s.row_misses, s.accesses);
+        prop_assert_eq!(s.row_misses, s.activates);
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+        prop_assert_eq!(s.queue_hist.samples(), s.accesses);
+        prop_assert_eq!(
+            s.queue_delay_cycles == 0,
+            s.queue_hist.bins()[1..].iter().all(|&b| b == 0),
+            "nonzero delays must fill nonzero bins"
+        );
+    }
+
+    /// Merging per-channel stats with AddAssign conserves every counter
+    /// (the satellite conservation law, on random streams).
+    #[test]
+    fn addassign_merges_conserve(ops in ops_strategy()) {
+        let mut a = channel(RowPolicy::Open, 16);
+        let mut b = channel(RowPolicy::Closed, 8);
+        let mut now = 0u64;
+        for &(bank, row, write, blocks, gap) in &ops {
+            now += gap;
+            a.access(bank, row, kind(write), blocks, now);
+            b.access(bank, row, kind(write), blocks, now);
+        }
+        let (sa, sb) = (a.stats(), b.stats());
+        let mut merged = sa;
+        merged += sb;
+        prop_assert_eq!(merged.read_blocks, sa.read_blocks + sb.read_blocks);
+        prop_assert_eq!(merged.write_blocks, sa.write_blocks + sb.write_blocks);
+        prop_assert_eq!(merged.accesses, sa.accesses + sb.accesses);
+        prop_assert_eq!(merged.busy_cycles, sa.busy_cycles + sb.busy_cycles);
+        prop_assert_eq!(
+            merged.queue_hist.samples(),
+            sa.queue_hist.samples() + sb.queue_hist.samples()
+        );
+    }
+}

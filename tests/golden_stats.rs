@@ -1,0 +1,92 @@
+//! Golden-stats regression net: one tiny fixed-seed run per design
+//! family, with every counter of the resulting `SimReport` compared
+//! against a committed JSON golden. Any timing-model or cache-model
+//! change that shifts a counter shows up as a readable JSON diff.
+//!
+//! Regenerate after an *intentional* model change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_stats
+//! git diff tests/golden/   # review every counter shift
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use fc_sim::{DesignSpec, SimConfig, Simulation, DESIGN_FAMILIES};
+use fc_trace::WorkloadKind;
+
+const SEED: u64 = 42;
+const WARMUP: u64 = 2_000;
+const MEASURED: u64 = 2_000;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn run(design: DesignSpec) -> String {
+    let mut sim = Simulation::new(SimConfig::small(), design);
+    let report = sim.run_workload(WorkloadKind::WebSearch, SEED, WARMUP, MEASURED);
+    report.to_canonical_json()
+}
+
+#[test]
+fn every_design_family_matches_its_golden() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut mismatches = Vec::new();
+    for family in DESIGN_FAMILIES {
+        let actual = run(family.build(64));
+        let path = dir.join(format!("{}.json", family.name));
+        if update {
+            fs::write(&path, &actual).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+            continue;
+        }
+        let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {path:?} ({e}); regenerate with \
+                 UPDATE_GOLDEN=1 cargo test --test golden_stats"
+            )
+        });
+        if actual != expected {
+            mismatches.push(format!(
+                "design family `{}` diverged from {path:?}\n--- expected\n{expected}\n--- actual\n{actual}",
+                family.name
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} golden mismatch(es); if the model change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff:\n\n{}",
+        mismatches.len(),
+        mismatches.join("\n\n")
+    );
+}
+
+#[test]
+fn golden_runs_are_reproducible() {
+    // The harness itself must be deterministic, or goldens are noise.
+    let a = run(DesignSpec::footprint(64));
+    let b = run(DesignSpec::footprint(64));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn canonical_json_counts_match_report() {
+    // Spot-check the serialization against live counters.
+    let mut sim = Simulation::new(SimConfig::small(), DesignSpec::page(64));
+    let report = sim.run_workload(WorkloadKind::WebSearch, SEED, 500, 500);
+    let json = report.to_canonical_json();
+    assert!(json.contains(&format!("\"insts\": {}", report.insts)));
+    assert!(json.contains(&format!(
+        "\"queue_delay_cycles\": {}",
+        report.stacked.queue_delay_cycles
+    )));
+    assert!(json.contains("\"density_bins\""));
+}

@@ -1,0 +1,69 @@
+//! Acceptance tests for the loaded-latency experiment: the latency
+//! curve is monotone non-decreasing in injected bandwidth for *every*
+//! design family, and Footprint Cache sustains at least the page-based
+//! design's usable bandwidth at equal stacked capacity.
+
+use fc_sim::loaded::{self, usable_bandwidth, LoadedConfig, STANDARD_INTERVALS};
+use fc_sim::{DesignSpec, DESIGN_FAMILIES};
+
+fn cfg() -> LoadedConfig {
+    LoadedConfig {
+        warmup: 1_500,
+        requests: 1_500,
+        ..LoadedConfig::tiny()
+    }
+}
+
+#[test]
+fn loaded_latency_is_monotone_for_every_design_family() {
+    for family in DESIGN_FAMILIES {
+        let design = family.build(64);
+        let curve = loaded::curve(&design, &cfg());
+        assert_eq!(curve.len(), STANDARD_INTERVALS.len());
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].injected_gbs > pair[0].injected_gbs,
+                "curve must ascend in offered load"
+            );
+            assert!(
+                pair[1].avg_latency >= pair[0].avg_latency,
+                "{}: loaded latency fell from {} to {} when injection rose \
+                 {:.1} -> {:.1} GB/s",
+                design.label(),
+                pair[0].avg_latency,
+                pair[1].avg_latency,
+                pair[0].injected_gbs,
+                pair[1].injected_gbs,
+            );
+        }
+    }
+}
+
+#[test]
+fn footprint_usable_bandwidth_at_least_page_based() {
+    for mb in [64, 256] {
+        let footprint = usable_bandwidth(&loaded::curve(&DesignSpec::footprint(mb), &cfg()));
+        let page = usable_bandwidth(&loaded::curve(&DesignSpec::page(mb), &cfg()));
+        assert!(
+            footprint >= page,
+            "at {mb} MB Footprint sustains {footprint:.2} GB/s < page-based {page:.2} GB/s"
+        );
+    }
+}
+
+#[test]
+fn saturation_shows_queueing_delay() {
+    // At the heaviest offered load, the queued engine must report
+    // queueing: delay histograms populated beyond the zero bin on at
+    // least one DRAM, and bus utilization strictly positive.
+    let design = DesignSpec::page(64);
+    let heavy = loaded::measure(&design, *STANDARD_INTERVALS.last().unwrap(), &cfg());
+    let queued = heavy.offchip.queue_delay_cycles + heavy.stacked.queue_delay_cycles;
+    assert!(queued > 0, "saturated run recorded no queueing delay");
+    assert!(heavy.offchip_util() > 0.0);
+    let light = loaded::measure(&design, STANDARD_INTERVALS[0], &cfg());
+    assert!(
+        heavy.avg_latency > light.avg_latency,
+        "saturation must cost latency"
+    );
+}

@@ -1,8 +1,10 @@
 //! Tier-1 guarantees of the sweep subsystem: thread-count-independent,
-//! bit-identical results, and memoization of repeated points.
+//! bit-identical results (under the queued memory engine), and
+//! memoization of repeated points.
 
+use fc_sim::loaded::LoadedConfig;
 use fc_sim::DesignSpec;
-use fc_sweep::{RunScale, SweepEngine, SweepSpec, TraceCache};
+use fc_sweep::{run_loaded, LoadedGrid, RunScale, SweepEngine, SweepSpec, TraceCache};
 use fc_trace::WorkloadKind;
 
 /// A small but non-trivial grid: two capacities, a predictor-bearing
@@ -64,6 +66,62 @@ fn repeated_points_come_from_the_memo_store() {
     let report = engine.run_point(&point);
     assert_eq!(engine.store().computed(), simulated);
     assert_eq!(*report, *first[0].report);
+}
+
+#[test]
+fn queued_engine_reports_contention_counters_deterministically() {
+    // The queued memory system's new counters (bus occupancy, queueing
+    // delay, histograms) are part of the bit-equality contract: any
+    // thread-count dependence would show up here.
+    let spec = spec();
+    let a = SweepEngine::new().with_threads(1).quiet().run_spec(&spec);
+    let b = SweepEngine::new().with_threads(4).quiet().run_spec(&spec);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.report.offchip.busy_cycles, y.report.offchip.busy_cycles);
+        assert_eq!(
+            x.report.stacked.queue_hist.bins(),
+            y.report.stacked.queue_hist.bins()
+        );
+        assert_eq!(
+            x.report.offchip.queue_delay_cycles,
+            y.report.offchip.queue_delay_cycles
+        );
+    }
+    // The engine actually exercises the queued path: a non-baseline
+    // design moves data, so buses accumulate occupancy.
+    assert!(a
+        .iter()
+        .filter(|r| r.point.design.stacked.is_some())
+        .all(|r| r.report.stacked.busy_cycles > 0));
+}
+
+#[test]
+fn loaded_grid_is_thread_count_independent() {
+    let grid = LoadedGrid {
+        designs: vec![
+            DesignSpec::baseline(),
+            DesignSpec::footprint(64),
+            DesignSpec::alloy(64),
+        ],
+        intervals: vec![96, 12, 4],
+        config: LoadedConfig {
+            warmup: 800,
+            requests: 800,
+            ..LoadedConfig::tiny()
+        },
+    };
+    let sequential = run_loaded(&grid, 1);
+    let parallel = run_loaded(&grid, 4);
+    assert_eq!(sequential.len(), grid.len());
+    for (a, b) in sequential.iter().zip(&parallel) {
+        assert_eq!(a.design, b.design, "result order must match grid order");
+        assert_eq!(
+            a.point,
+            b.point,
+            "{}: parallel loaded run diverged",
+            a.design.label()
+        );
+    }
 }
 
 #[test]
