@@ -12,6 +12,7 @@ mod fig67;
 mod fig8;
 mod fig9;
 mod loaded_latency;
+mod mix;
 mod tables;
 
 pub use ablations::{
@@ -27,6 +28,7 @@ pub use fig67::{fig6, fig7};
 pub use fig8::fig8;
 pub use fig9::fig9;
 pub use loaded_latency::loaded_latency;
+pub use mix::mix;
 pub use tables::{table1, table4};
 
 use crate::Lab;
@@ -107,6 +109,7 @@ pub fn run_all(lab: &mut Lab) -> String {
         fig8(lab),
         fig9(lab),
         loaded_latency(lab),
+        mix(lab),
         fig10(lab),
         fig11(lab),
         fig12(),

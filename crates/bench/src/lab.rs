@@ -67,6 +67,19 @@ impl Lab {
         self.scale
     }
 
+    /// The lab's sweep engine (shared memo store), for experiments
+    /// that drive grids directly — e.g. the scenario-mix experiment's
+    /// [`fc_sweep::run_mix`], whose solo baselines then come from the
+    /// same store the figure experiments warmed.
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
+    }
+
+    /// The lab's base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
     /// Number of distinct simulations executed.
     pub fn runs_executed(&self) -> u64 {
         self.engine.store().computed()

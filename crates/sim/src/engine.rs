@@ -3,13 +3,23 @@
 use std::collections::VecDeque;
 
 use fc_cache::{SramCache, SramOutcome};
-use fc_trace::{TraceGenerator, TraceRecord, WorkloadKind};
-use fc_types::AccessKind;
+use fc_trace::{ScenarioGenerator, ScenarioSpec, TraceGenerator, TraceRecord, WorkloadKind};
 
 use crate::config::SimConfig;
 use crate::design::DesignSpec;
 use crate::memsys::MemorySystem;
-use crate::report::{ReportSnapshot, SimReport};
+use crate::report::{CorePerf, ReportSnapshot, SimReport};
+
+/// One outstanding DRAM-level miss held in a core's MSHRs.
+#[derive(Clone, Copy, Debug)]
+struct OutstandingMiss {
+    /// Cycle the fill completes (the MSHR frees then).
+    done: u64,
+    /// Instruction index at issue (reorder-window bookkeeping).
+    at_inst: u64,
+    /// Fetch-for-write: occupies an MSHR but never blocks retirement.
+    write: bool,
+}
 
 #[derive(Clone, Debug, Default)]
 struct CoreState {
@@ -17,8 +27,57 @@ struct CoreState {
     time: u64,
     /// Instructions committed.
     insts: u64,
-    /// Outstanding DRAM-level read misses: (completion cycle, inst index).
-    outstanding: VecDeque<(u64, u64)>,
+    /// Demand L2 accesses issued by this core.
+    l2_accesses: u64,
+    /// Demand L2 misses (DRAM-level accesses) issued by this core.
+    l2_misses: u64,
+    /// Outstanding DRAM-level misses, FIFO by issue (the MSHRs).
+    outstanding: VecDeque<OutstandingMiss>,
+}
+
+impl CoreState {
+    /// Frees MSHRs whose fills have already returned, stalls on reads
+    /// the reorder window can no longer slide past, and — when every
+    /// MSHR is busy — waits for the oldest fill. Both reads and
+    /// fetch-for-writes occupy entries (bounding store-miss
+    /// parallelism), but a write entry never stalls retirement on its
+    /// own: it only costs time through the MSHR bound. Pending writes
+    /// are skipped, not barriers — a long store fill ahead of a read
+    /// must not exempt the read from its reorder-window stall.
+    fn reserve_mshr(&mut self, rob_window: u64, mshrs: usize) {
+        let (insts, now) = (self.insts, self.time);
+        let mut stall_until = now;
+        self.outstanding.retain(|m| {
+            if m.done <= now {
+                return false; // fill returned: the MSHR is free
+            }
+            if !m.write && insts > m.at_inst + rob_window {
+                stall_until = stall_until.max(m.done);
+                return false; // the ROB can no longer slide past it
+            }
+            true
+        });
+        self.time = stall_until;
+        // The stall may have outlived more fills; free those too.
+        while matches!(self.outstanding.front(), Some(m) if m.done <= self.time) {
+            self.outstanding.pop_front();
+        }
+        if self.outstanding.len() >= mshrs {
+            if let Some(OutstandingMiss { done, .. }) = self.outstanding.pop_front() {
+                self.time = self.time.max(done);
+            }
+        }
+    }
+
+    /// This core's monotone performance counters.
+    fn perf(&self) -> CorePerf {
+        CorePerf {
+            insts: self.insts,
+            cycles: self.time,
+            l2_accesses: self.l2_accesses,
+            l2_misses: self.l2_misses,
+        }
+    }
 }
 
 /// A configured pod simulation: cores + L2 + memory system.
@@ -61,62 +120,51 @@ impl Simulation {
         let core = &mut self.cores[r.core as usize];
         core.insts += r.inst_gap as u64;
         core.time += r.inst_gap as u64; // fixed IPC 1.0 for non-memory work
+        core.l2_accesses += 1;
 
         // The trace is post-L1: probe the shared L2.
         let block = r.addr.block();
         let outcome = self.l2.access(block, r.kind.is_write());
         match outcome {
             SramOutcome::Hit => {
-                if !r.kind.is_write() {
-                    core.time += self.l2.hit_latency() as u64;
-                }
+                // Loads and stores both occupy the L2 port for a hit:
+                // the write buffer hides *miss* latency, not hit port
+                // occupancy.
+                core.time += self.l2.hit_latency() as u64;
             }
             SramOutcome::Miss { writeback } => {
-                let now = core.time;
+                core.l2_misses += 1;
                 if let Some(victim) = writeback {
-                    self.memsys.writeback(victim.base(), now);
+                    self.memsys.writeback(victim.base(), core.time);
                 }
-                match r.kind {
-                    AccessKind::Read => {
-                        // Lean-OoO overlap model: retire any outstanding
-                        // miss the reorder window can no longer slide
-                        // past, and respect the MSHR bound.
-                        let window = self.config.rob_window;
-                        while let Some(&(done, at_inst)) = core.outstanding.front() {
-                            if core.insts > at_inst + window {
-                                core.time = core.time.max(done);
-                                core.outstanding.pop_front();
-                            } else {
-                                break;
-                            }
-                        }
-                        if core.outstanding.len() >= self.config.mshrs {
-                            if let Some((done, _)) = core.outstanding.pop_front() {
-                                core.time = core.time.max(done);
-                            }
-                        }
-                        let issue = core.time + self.l2.hit_latency() as u64;
-                        let done = self.memsys.demand_access(r.access(), issue);
-                        core.time = issue;
-                        core.outstanding.push_back((done, core.insts));
-                    }
-                    AccessKind::Write => {
-                        // Stores retire through the write buffer: the
-                        // fetch-for-write proceeds without stalling.
-                        self.memsys
-                            .demand_access(r.access(), now + self.l2.hit_latency() as u64);
-                    }
-                }
+                // Lean-OoO overlap model: free/retire outstanding
+                // misses and respect the MSHR bound (reads and
+                // fetch-for-writes share the MSHRs).
+                core.reserve_mshr(self.config.rob_window, self.config.mshrs);
+                let issue = core.time + self.l2.hit_latency() as u64;
+                let done = self.memsys.demand_access(r.access(), issue);
+                core.time = issue;
+                core.outstanding.push_back(OutstandingMiss {
+                    done,
+                    at_inst: core.insts,
+                    // Stores retire through the write buffer: the
+                    // fetch-for-write holds an MSHR until the fill
+                    // returns but never stalls retirement itself.
+                    write: r.kind.is_write(),
+                });
             }
         }
     }
 
     /// Drains outstanding misses into core clocks (call at measurement
-    /// boundaries).
+    /// boundaries). Write fills only free their MSHRs — the write
+    /// buffer already decoupled them from retirement.
     pub fn drain(&mut self) {
         for core in &mut self.cores {
-            while let Some((done, _)) = core.outstanding.pop_front() {
-                core.time = core.time.max(done);
+            while let Some(OutstandingMiss { done, write, .. }) = core.outstanding.pop_front() {
+                if !write {
+                    core.time = core.time.max(done);
+                }
             }
         }
     }
@@ -129,6 +177,12 @@ impl Simulation {
     /// Total cycles: the slowest core's clock (cores run concurrently).
     pub fn total_cycles(&self) -> u64 {
         self.cores.iter().map(|c| c.time).max().unwrap_or(0)
+    }
+
+    /// Per-core monotone counters (instructions, cycles, L2 traffic),
+    /// indexed by core id.
+    pub fn per_core(&self) -> Vec<CorePerf> {
+        self.cores.iter().map(CoreState::perf).collect()
     }
 
     /// Snapshot of all counters (for warmup-relative measurement).
@@ -169,12 +223,45 @@ impl Simulation {
         let records = (&mut generator).take(measured as usize);
         self.run_records(records, &snap)
     }
+
+    /// Scenario-mix driver: interleaves each core's assigned workload
+    /// with `seed`, replays `warmup` records to warm the hierarchy,
+    /// then measures over `measured` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's core count differs from the pod's.
+    pub fn run_scenario(
+        &mut self,
+        scenario: &ScenarioSpec,
+        seed: u64,
+        warmup: u64,
+        measured: u64,
+    ) -> SimReport {
+        assert_eq!(
+            scenario.cores(),
+            self.config.cores,
+            "scenario `{}` assigns {} cores but the pod has {}",
+            scenario.name,
+            scenario.cores(),
+            self.config.cores
+        );
+        let mut generator = ScenarioGenerator::new(scenario, seed);
+        for _ in 0..warmup {
+            let r = generator.next().expect("generator is infinite");
+            self.step(&r);
+        }
+        self.drain();
+        let snap = self.snapshot();
+        let records = (&mut generator).take(measured as usize);
+        self.run_records(records, &snap)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fc_types::{Pc, PhysAddr};
+    use fc_types::{AccessKind, Pc, PhysAddr};
 
     fn record(core: u8, addr: u64, gap: u32) -> TraceRecord {
         TraceRecord {
@@ -183,6 +270,13 @@ mod tests {
             kind: AccessKind::Read,
             core,
             inst_gap: gap,
+        }
+    }
+
+    fn store(core: u8, addr: u64, gap: u32) -> TraceRecord {
+        TraceRecord {
+            kind: AccessKind::Write,
+            ..record(core, addr, gap)
         }
     }
 
@@ -248,5 +342,143 @@ mod tests {
         sim.step(&record(0, 0x1000, 50));
         sim.step(&record(1, 0x2000, 10));
         assert_eq!(sim.total_insts(), 60);
+    }
+
+    #[test]
+    fn store_hits_pay_the_l2_hit_latency() {
+        // Regression: store hits used to advance the core clock by
+        // nothing at all — the write buffer hides miss latency, not
+        // hit port occupancy. A store-hit-heavy stream must accumulate
+        // the L2 hit latency per store on top of its instructions.
+        let cfg = SimConfig::small();
+        let mut sim = Simulation::new(cfg, DesignSpec::baseline());
+        sim.step(&record(0, 0x1000, 1)); // install the block
+        sim.drain();
+        let before = sim.total_cycles();
+        let hits = 100u64;
+        for _ in 0..hits {
+            sim.step(&store(0, 0x1000, 1));
+        }
+        sim.drain();
+        let elapsed = sim.total_cycles() - before;
+        assert!(
+            elapsed >= hits * (1 + cfg.l2_latency as u64),
+            "store hits advanced the clock only {elapsed} cycles \
+             (expected at least {})",
+            hits * (1 + cfg.l2_latency as u64)
+        );
+    }
+
+    #[test]
+    fn store_misses_respect_the_mshr_bound() {
+        // Regression: store misses used to bypass `core.outstanding`
+        // entirely, granting unbounded fetch-for-write parallelism. A
+        // burst of independent store misses must serialize behind a
+        // single MSHR, and overlap with many.
+        let narrow_cfg = SimConfig {
+            mshrs: 1,
+            ..SimConfig::small()
+        };
+        let wide_cfg = SimConfig {
+            mshrs: 64,
+            ..SimConfig::small()
+        };
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulation::new(cfg, DesignSpec::baseline());
+            for i in 0..16u64 {
+                sim.step(&store(0, 0x100000 + i * 0x1000, 1));
+            }
+            sim.drain();
+            sim.total_cycles()
+        };
+        let narrow = run(narrow_cfg);
+        let wide = run(wide_cfg);
+        assert!(
+            narrow > wide + 100,
+            "one MSHR ({narrow} cycles) must serialize store misses \
+             that 64 MSHRs overlap ({wide} cycles)"
+        );
+    }
+
+    #[test]
+    fn pending_write_does_not_shield_reads_from_rob_stalls() {
+        // A long store fill at the MSHR head must not exempt a younger
+        // read miss from its reorder-window stall: prefixing the
+        // distant read pair with a store may only add the store's own
+        // issue cost, never remove the read's stall (the pre-drain
+        // clock makes the stall visible).
+        let cfg = SimConfig::small();
+        let run = |with_store: bool| {
+            let mut sim = Simulation::new(cfg, DesignSpec::baseline());
+            if with_store {
+                sim.step(&store(0, 0x700000, 1));
+            }
+            sim.step(&record(0, 0x10000, 1));
+            sim.step(&record(0, 0x10040, (cfg.rob_window + 10) as u32));
+            sim.total_cycles()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with >= without + 1 + cfg.l2_latency as u64,
+            "the pending store erased the read's ROB stall: \
+             {with} cycles with the store vs {without} without"
+        );
+    }
+
+    #[test]
+    fn store_misses_do_not_block_retirement() {
+        // A single store miss retires through the write buffer: the
+        // core clock advances by the instruction and the L2 lookup,
+        // not by the DRAM fill latency.
+        let cfg = SimConfig::small();
+        let mut sim = Simulation::new(cfg, DesignSpec::baseline());
+        sim.step(&store(0, 0x100000, 1));
+        assert_eq!(sim.total_cycles(), 1 + cfg.l2_latency as u64);
+    }
+
+    #[test]
+    fn per_core_counters_sum_to_totals() {
+        let mut sim = Simulation::new(SimConfig::small(), DesignSpec::baseline());
+        sim.step(&record(0, 0x10000, 5));
+        sim.step(&record(1, 0x20000, 7));
+        sim.step(&store(1, 0x20000, 3));
+        sim.drain();
+        let per_core = sim.per_core();
+        assert_eq!(per_core.len(), 4);
+        assert_eq!(
+            per_core.iter().map(|c| c.insts).sum::<u64>(),
+            sim.total_insts()
+        );
+        assert_eq!(per_core.iter().map(|c| c.l2_accesses).sum::<u64>(), 3);
+        assert_eq!(per_core[1].l2_accesses, 2);
+        assert_eq!(per_core[1].l2_misses, 1, "the store hit is not a miss");
+    }
+
+    #[test]
+    fn heterogeneous_scenario_runs_deterministically() {
+        use fc_trace::ScenarioSpec;
+        let spec = ScenarioSpec::split(
+            fc_trace::WorkloadKind::DataServing,
+            fc_trace::WorkloadKind::MapReduce,
+            4,
+        );
+        let run = || {
+            Simulation::new(SimConfig::small(), DesignSpec::footprint(64))
+                .run_scenario(&spec, 42, 500, 500)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.per_core.len(), 4);
+        assert!(a.per_core.iter().all(|c| c.insts > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigns 8 cores but the pod has 4")]
+    fn scenario_core_count_must_match_pod() {
+        use fc_trace::ScenarioSpec;
+        let spec = ScenarioSpec::all_different(8);
+        Simulation::new(SimConfig::small(), DesignSpec::baseline()).run_scenario(&spec, 1, 10, 10);
     }
 }

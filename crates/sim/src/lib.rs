@@ -43,15 +43,27 @@ pub mod analysis;
 mod config;
 mod design;
 mod engine;
-pub mod json;
 pub mod loaded;
 mod memsys;
 pub mod registry;
 mod report;
+
+// The JSON layer moved down to `fc_types` so `fc_trace` scenario specs
+// can round-trip through the same parser; re-exported here so
+// `fc_sim::json` keeps working for existing callers.
+pub use fc_types::json;
 
 pub use config::SimConfig;
 pub use design::{CacheSpec, DesignSpec, DramPreset, DramSpec};
 pub use engine::Simulation;
 pub use memsys::MemorySystem;
 pub use registry::{design_family, resolve_designs, DesignFamily, DESIGN_FAMILIES};
-pub use report::{EnergyReport, SimReport};
+pub use report::{consolidation, ConsolidationReport, CorePerf, EnergyReport, SimReport};
+
+// Scenario mixes are described in `fc_trace` (they are workload data);
+// re-exported here because the registry/JSON layer is where sweep
+// callers look for spec types.
+pub use fc_trace::{
+    resolve_scenarios, scenario_family, PhaseSchedule, ScenarioFamily, ScenarioSpec,
+    SCENARIO_FAMILIES,
+};

@@ -186,14 +186,18 @@ impl MemorySystem {
         };
         // Remaining rows (e.g., a 4 KB page spans two 2 KB rows):
         // streamed after the first chunk, off the critical path of the
-        // demanded block.
+        // demanded block. Each tail chunk issues when the previous
+        // chunk's transfer completes — issuing them all at the op's
+        // arrival would claim channel-queue slots and bank timing the
+        // data cannot actually use yet.
         let mut last_done = completion.done;
         let mut remaining = op.blocks - first_chunk;
         let mut addr = op.addr.raw() + first_chunk as u64 * BLOCK_SIZE as u64;
         while remaining > 0 {
             let chunk = remaining.min(row_blocks);
-            let c = sys.access(PhysAddr::new(addr), op.kind, chunk, at);
-            last_done = last_done.max(c.done);
+            let c = sys.access(PhysAddr::new(addr), op.kind, chunk, last_done);
+            debug_assert!(c.done > last_done, "chained chunk must finish later");
+            last_done = c.done;
             addr += chunk as u64 * BLOCK_SIZE as u64;
             remaining -= chunk;
         }
@@ -270,6 +274,59 @@ mod tests {
         assert_eq!(m.offchip_stats().read_blocks, 64);
         // Two activations for the two off-chip rows of the 4 KB page.
         assert_eq!(m.offchip_stats().activates, 2);
+    }
+
+    #[test]
+    fn tail_row_chunks_stream_after_the_previous_chunk() {
+        // Regression: tail chunks of a multi-row transfer used to be
+        // issued at the op's arrival cycle, despite the "streamed after
+        // the first chunk" contract. Chained issue means the chunks
+        // arrive one at a time and never wait in the channel queue
+        // behind each other.
+        let mut m = MemorySystem::new(
+            Box::new(PageBasedCache::new(1 << 20, PageGeometry::new(4096))),
+            Some(DramConfig::stacked_ddr3_3200()),
+            DramConfig::off_chip_open_row(),
+        );
+        m.demand_access(read(0x10000), 0);
+        // The 4 KB page fill moved 64 blocks in two 2 KB row chunks.
+        assert_eq!(m.offchip_stats().read_blocks, 64);
+        assert_eq!(m.offchip_stats().activates, 2);
+        // Chained issue: each chunk arrives only once its predecessor
+        // is done, so the otherwise-idle off-chip queue never delays.
+        assert_eq!(
+            m.offchip_stats().queue_delay_cycles,
+            0,
+            "tail chunks issued at arrival queue behind each other"
+        );
+    }
+
+    #[test]
+    fn tail_chunk_chain_orders_completions() {
+        // Directly assert the ordering contract on run_op: the op's
+        // last chunk completes after the first chunk's data is ready,
+        // by at least the tail chunks' transfer time.
+        use fc_cache::{MemOp, MemTarget, OpFlavor};
+        let mut m = MemorySystem::new(
+            Box::new(NoCache::new()),
+            None,
+            DramConfig::off_chip_open_row(),
+        );
+        let op = MemOp {
+            target: MemTarget::OffChip,
+            addr: PhysAddr::new(0x20000),
+            kind: fc_types::AccessKind::Read,
+            blocks: 96, // three 2 KB rows
+            flavor: OpFlavor::Simple,
+        };
+        let (ready, last) = m.run_op(&op, 1000);
+        let t = DramConfig::off_chip_open_row().timings.to_core_cycles();
+        // Two tail rows, each chained strictly after its predecessor:
+        // each contributes at least a 32-block burst.
+        assert!(
+            last >= ready + 2 * 32 * t.t_burst,
+            "last {last} vs ready {ready}"
+        );
     }
 
     #[test]

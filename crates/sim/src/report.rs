@@ -9,11 +9,55 @@ use fc_dram::{DramStats, EnergyBreakdown};
 
 use crate::engine::Simulation;
 
+/// One core's monotone performance counters (also the per-core entry
+/// of a [`SimReport`], where it holds interval deltas).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorePerf {
+    /// Instructions committed by this core.
+    pub insts: u64,
+    /// This core's local clock in cycles.
+    pub cycles: u64,
+    /// Demand L2 accesses issued by this core.
+    pub l2_accesses: u64,
+    /// Demand L2 misses (DRAM-level accesses) issued by this core.
+    pub l2_misses: u64,
+}
+
+impl CorePerf {
+    /// Instructions per cycle on this core's clock.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 (DRAM-level) misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.insts as f64
+        }
+    }
+
+    fn delta_since(&self, since: &CorePerf) -> CorePerf {
+        CorePerf {
+            insts: self.insts - since.insts,
+            cycles: self.cycles - since.cycles,
+            l2_accesses: self.l2_accesses - since.l2_accesses,
+            l2_misses: self.l2_misses - since.l2_misses,
+        }
+    }
+}
+
 /// A point-in-time capture of every monotone counter in the simulation.
 #[derive(Clone, Debug)]
 pub struct ReportSnapshot {
     insts: u64,
     cycles: u64,
+    per_core: Vec<CorePerf>,
     cache: DramCacheStats,
     offchip: DramStats,
     stacked: DramStats,
@@ -28,6 +72,7 @@ impl ReportSnapshot {
         Self {
             insts: sim.total_insts(),
             cycles: sim.total_cycles(),
+            per_core: sim.per_core(),
             cache: sim.memsys().cache().stats().clone(),
             offchip: sim.memsys().offchip_stats(),
             stacked: sim.memsys().stacked_stats(),
@@ -42,6 +87,7 @@ impl ReportSnapshot {
         Self {
             insts: 0,
             cycles: 0,
+            per_core: Vec::new(),
             cache: DramCacheStats::default(),
             offchip: DramStats::default(),
             stacked: DramStats::default(),
@@ -76,6 +122,10 @@ pub struct SimReport {
     pub insts: u64,
     /// Cycles elapsed in the interval.
     pub cycles: u64,
+    /// Per-core interval counters (IPC/MPKI per core), indexed by core
+    /// id. Heterogeneous scenario mixes read their consolidation
+    /// metrics from these.
+    pub per_core: Vec<CorePerf>,
     /// DRAM-cache counters over the interval.
     pub cache: DramCacheStats,
     /// Off-chip DRAM counters.
@@ -97,6 +147,12 @@ impl SimReport {
         Self {
             insts: now.insts - since.insts,
             cycles: now.cycles - since.cycles,
+            per_core: now
+                .per_core
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.delta_since(since.per_core.get(i).unwrap_or(&CorePerf::default())))
+                .collect(),
             cache: diff_cache(&now.cache, &since.cache),
             offchip: diff_dram(&now.offchip, &since.offchip),
             stacked: diff_dram(&now.stacked, &since.stacked),
@@ -245,6 +301,57 @@ impl SimReport {
     }
 }
 
+/// Consolidation metrics of a scenario mix measured against solo-run
+/// baselines (the multiprogramming literature's standard pair).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationReport {
+    /// Per-core `IPC_mix / IPC_solo` (relative progress under
+    /// co-location), indexed by core id.
+    pub per_core_speedup: Vec<f64>,
+    /// Weighted speedup, normalized by core count: the mean of the
+    /// per-core relative IPCs. 1.0 means consolidation is free; below
+    /// 1.0 quantifies the co-location penalty.
+    pub weighted_speedup: f64,
+    /// Jain's fairness index over the per-core relative IPCs, in
+    /// `(0, 1]`: 1.0 when every core suffers equally, approaching
+    /// `1/n` when one core starves the rest.
+    pub fairness: f64,
+}
+
+/// Computes consolidation metrics for a mix report. `solo_ipc[i]` is
+/// the solo-run IPC baseline for the workload core `i` runs in the mix
+/// (from a homogeneous run of that workload on the same design).
+///
+/// # Panics
+///
+/// Panics if `solo_ipc` and the report's per-core vector disagree in
+/// length.
+pub fn consolidation(mix: &SimReport, solo_ipc: &[f64]) -> ConsolidationReport {
+    assert_eq!(
+        mix.per_core.len(),
+        solo_ipc.len(),
+        "solo baselines must cover every core"
+    );
+    let per_core_speedup: Vec<f64> = mix
+        .per_core
+        .iter()
+        .zip(solo_ipc)
+        .map(|(core, &solo)| if solo > 0.0 { core.ipc() / solo } else { 0.0 })
+        .collect();
+    let n = per_core_speedup.len() as f64;
+    let sum: f64 = per_core_speedup.iter().sum();
+    let sum_sq: f64 = per_core_speedup.iter().map(|x| x * x).sum();
+    ConsolidationReport {
+        weighted_speedup: if n > 0.0 { sum / n } else { 0.0 },
+        fairness: if sum_sq > 0.0 {
+            (sum * sum) / (n * sum_sq)
+        } else {
+            0.0
+        },
+        per_core_speedup,
+    }
+}
+
 fn diff_cache(now: &DramCacheStats, since: &DramCacheStats) -> DramCacheStats {
     DramCacheStats {
         accesses: now.accesses - since.accesses,
@@ -293,10 +400,78 @@ mod tests {
     }
 
     #[test]
+    fn core_perf_rates() {
+        let c = CorePerf {
+            insts: 2000,
+            cycles: 4000,
+            l2_accesses: 40,
+            l2_misses: 10,
+        };
+        assert_eq!(c.ipc(), 0.5);
+        assert_eq!(c.mpki(), 5.0);
+        assert_eq!(CorePerf::default().ipc(), 0.0);
+        assert_eq!(CorePerf::default().mpki(), 0.0);
+    }
+
+    #[test]
+    fn consolidation_metrics() {
+        let mut mix = SimReport {
+            insts: 0,
+            cycles: 0,
+            per_core: vec![
+                CorePerf {
+                    insts: 1000,
+                    cycles: 2000, // IPC 0.5 vs solo 1.0 -> speedup 0.5
+                    ..Default::default()
+                },
+                CorePerf {
+                    insts: 1000,
+                    cycles: 1000, // IPC 1.0 vs solo 1.0 -> speedup 1.0
+                    ..Default::default()
+                },
+            ],
+            cache: Default::default(),
+            offchip: Default::default(),
+            stacked: Default::default(),
+            offchip_energy: Default::default(),
+            stacked_energy: Default::default(),
+            prediction: None,
+        };
+        let report = consolidation(&mix, &[1.0, 1.0]);
+        assert_eq!(report.per_core_speedup, vec![0.5, 1.0]);
+        assert!((report.weighted_speedup - 0.75).abs() < 1e-12);
+        // Jain: (1.5)^2 / (2 * 1.25) = 0.9
+        assert!((report.fairness - 0.9).abs() < 1e-12);
+
+        // Equal slowdowns are perfectly fair.
+        mix.per_core[1].cycles = 2000;
+        let equal = consolidation(&mix, &[1.0, 1.0]);
+        assert!((equal.fairness - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "every core")]
+    fn consolidation_requires_full_baselines() {
+        let mix = SimReport {
+            insts: 0,
+            cycles: 0,
+            per_core: vec![CorePerf::default(); 2],
+            cache: Default::default(),
+            offchip: Default::default(),
+            stacked: Default::default(),
+            offchip_energy: Default::default(),
+            stacked_energy: Default::default(),
+            prediction: None,
+        };
+        consolidation(&mix, &[1.0]);
+    }
+
+    #[test]
     fn throughput_guards_zero_cycles() {
         let r = SimReport {
             insts: 0,
             cycles: 0,
+            per_core: Vec::new(),
             cache: Default::default(),
             offchip: Default::default(),
             stacked: Default::default(),

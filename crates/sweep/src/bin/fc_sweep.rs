@@ -14,19 +14,24 @@ use std::time::Instant;
 
 use fc_sim::loaded::LoadedConfig;
 use fc_sim::registry::{resolve_designs, DESIGN_FAMILIES};
+use fc_sim::{resolve_scenarios, ScenarioSpec, SimConfig, SCENARIO_FAMILIES};
 use fc_sweep::{
-    emit, DesignSpec, LoadedGrid, RunScale, SweepEngine, SweepResult, SweepSpec, WorkloadKind,
+    emit, DesignSpec, LoadedGrid, MixGrid, RunScale, SweepEngine, SweepResult, SweepSpec,
+    WorkloadKind,
 };
 
 const USAGE: &str = "\
 usage: fc_sweep [options]
   --grid NAME        preset grid: fig4 | fig5 | fig67 | designspace | loaded
-                     (default fig4; `loaded` sweeps latency vs injected
-                     bandwidth instead of trace replay)
+                     | mix (default fig4; `loaded` sweeps latency vs
+                     injected bandwidth, `mix` sweeps consolidation
+                     scenarios with per-core workloads)
   --designs LIST     comma list of design families from the registry
                      (see --list-designs); overrides the preset's designs
   --capacities LIST  comma list of MB values (default 64,128,256,512)
   --workloads LIST   comma list of workload names (default: all six)
+  --scenarios LIST   comma list of scenario families for --grid mix
+                     (see --list-scenarios; default: all of them)
   --scale NAME       quick | full | tiny (default quick)
   --threads N        worker threads (default: all cores)
   --seed N           base seed (default 42)
@@ -38,6 +43,7 @@ usage: fc_sweep [options]
                      speedup) as JSON, e.g. BENCH_designspace.json
   --list             print the grid points and exit
   --list-designs     print the design-family catalogue and exit
+  --list-scenarios   print the scenario-family catalogue and exit
   --quiet            suppress per-point progress lines
   --help             this text";
 
@@ -101,6 +107,13 @@ fn print_design_catalogue() {
             },
             f.summary
         );
+    }
+}
+
+fn print_scenario_catalogue() {
+    println!("{:<12} summary", "scenario");
+    for f in SCENARIO_FAMILIES {
+        println!("{:<12} {}", f.name, f.summary);
     }
 }
 
@@ -245,10 +258,145 @@ fn run_loaded_grid(
     }
 }
 
+/// Default design families of the mix grid: the paper's design plus
+/// the granularity extremes it competes against.
+const MIX_DESIGNS: &str = "baseline,page,footprint,banshee";
+
+/// Runs `--grid mix`: consolidation scenarios × designs with per-core
+/// accounting, weighted speedup vs solo runs, and a fairness index
+/// (`BENCH_mix.json`).
+#[allow(clippy::too_many_arguments)]
+fn run_mix_grid(
+    designs_arg: &Option<String>,
+    scenarios_arg: &Option<String>,
+    capacities: &[u64],
+    scale: RunScale,
+    threads: Option<usize>,
+    seed: u64,
+    speedup: bool,
+    json_path: &Option<String>,
+    csv_path: &Option<String>,
+    bench_path: &Option<String>,
+    list_only: bool,
+    quiet: bool,
+) {
+    let config = SimConfig::default();
+    let designs = parse_designs(designs_arg.as_deref().unwrap_or(MIX_DESIGNS), capacities);
+    let scenarios: Vec<ScenarioSpec> = match scenarios_arg {
+        Some(list) => resolve_scenarios(list, config.cores).unwrap_or_else(|e| fail(&e)),
+        None => SCENARIO_FAMILIES
+            .iter()
+            .map(|f| f.build(config.cores))
+            .collect(),
+    };
+    let grid = MixGrid::new(scenarios, designs, scale)
+        .with_config(config)
+        .with_seed(seed);
+
+    if list_only {
+        for p in grid.points() {
+            println!(
+                "{}  (warmup {}, measured {})",
+                p.label(),
+                p.warmup(),
+                p.measured()
+            );
+        }
+        eprintln!("[fc_sweep] {} mix points", grid.len());
+        return;
+    }
+
+    let mut engine = SweepEngine::new();
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+    if quiet {
+        engine = engine.quiet();
+    }
+    let workers = engine.threads();
+    eprintln!(
+        "[fc_sweep] grid mix: {} points ({} scenarios x {} designs) + solo \
+         baselines on {} thread(s)",
+        grid.len(),
+        grid.scenarios.len(),
+        grid.designs.len(),
+        workers,
+    );
+    let started = Instant::now();
+    let results = fc_sweep::run_mix(&grid, &engine);
+    let parallel_secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[fc_sweep] {} simulations in {parallel_secs:.2}s ({} memo hits)",
+        engine.store().computed(),
+        engine.store().memo_hits()
+    );
+
+    println!(
+        "{:<26} {:<22} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "scenario", "design", "IPC/pod", "wtd spdup", "fairness", "min core", "max core"
+    );
+    for r in &results {
+        let min = r
+            .consolidation
+            .per_core_speedup
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = r
+            .consolidation
+            .per_core_speedup
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        println!(
+            "{:<26} {:<22} {:>10.2} {:>10.3} {:>9.3} {:>9.3} {:>9.3}",
+            r.point.scenario.name,
+            r.point.design.label(),
+            r.report.throughput(),
+            r.consolidation.weighted_speedup,
+            r.consolidation.fairness,
+            min,
+            max,
+        );
+    }
+
+    if speedup {
+        // Fresh engine, fresh store: a true sequential baseline.
+        let started = Instant::now();
+        let seq = fc_sweep::run_mix(&grid, &SweepEngine::new().with_threads(1).quiet());
+        let seq_secs = started.elapsed().as_secs_f64();
+        let identical = results
+            .iter()
+            .zip(&seq)
+            .all(|(a, b)| *a.report == *b.report && a.consolidation == b.consolidation);
+        println!();
+        println!(
+            "speedup: sequential {seq_secs:.2}s / parallel {parallel_secs:.2}s = {:.2}x on {} threads; results identical: {}",
+            seq_secs / parallel_secs.max(1e-9),
+            workers,
+            if identical { "yes" } else { "NO (BUG)" }
+        );
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = json_path {
+        write_file(path, &emit::to_mix_json(&results));
+    }
+    if let Some(path) = csv_path {
+        write_file(path, &emit::to_mix_csv(&results));
+    }
+    if let Some(path) = bench_path {
+        write_file(path, &emit::to_mix_bench_json(&results, parallel_secs));
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut grid = "fig4".to_string();
     let mut designs_arg: Option<String> = None;
+    let mut scenarios_arg: Option<String> = None;
     let mut capacities: Vec<u64> = vec![64, 128, 256, 512];
     let mut workloads: Vec<WorkloadKind> = WorkloadKind::ALL.to_vec();
     let mut scale = RunScale::quick();
@@ -260,6 +408,7 @@ fn main() {
     let mut bench_path: Option<String> = None;
     let mut list_only = false;
     let mut list_designs = false;
+    let mut list_scenarios = false;
     let mut quiet = false;
 
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -287,6 +436,7 @@ fn main() {
                     .collect();
             }
             "--workloads" => workloads = parse_workloads(&value(&mut args, "--workloads")),
+            "--scenarios" => scenarios_arg = Some(value(&mut args, "--scenarios")),
             "--scale" => {
                 scale = match value(&mut args, "--scale").as_str() {
                     "quick" => RunScale::quick(),
@@ -313,6 +463,7 @@ fn main() {
             "--bench" => bench_path = Some(value(&mut args, "--bench")),
             "--list" => list_only = true,
             "--list-designs" => list_designs = true,
+            "--list-scenarios" => list_scenarios = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -324,6 +475,28 @@ fn main() {
 
     if list_designs {
         print_design_catalogue();
+        return;
+    }
+    if list_scenarios {
+        print_scenario_catalogue();
+        return;
+    }
+
+    if grid == "mix" {
+        run_mix_grid(
+            &designs_arg,
+            &scenarios_arg,
+            &capacities,
+            scale,
+            threads,
+            seed,
+            speedup,
+            &json_path,
+            &csv_path,
+            &bench_path,
+            list_only,
+            quiet,
+        );
         return;
     }
 

@@ -23,6 +23,28 @@ fn hist_json(h: &fc_dram::QueueDelayHist) -> String {
     h.to_json()
 }
 
+/// Renders a report's per-core counters as a JSON array (one object
+/// per core, in core order).
+fn per_core_json(rep: &fc_sim::SimReport) -> String {
+    let entries: Vec<String> = rep
+        .per_core
+        .iter()
+        .enumerate()
+        .map(|(core, c)| {
+            format!(
+                "{{\"core\": {core}, \"insts\": {}, \"cycles\": {}, \
+                 \"l2_misses\": {}, \"ipc\": {}, \"mpki\": {}}}",
+                c.insts,
+                c.cycles,
+                c.l2_misses,
+                json_num(c.ipc()),
+                json_num(c.mpki()),
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(", "))
+}
+
 /// Renders results as a JSON array (one object per point).
 pub fn to_json(results: &[SweepResult]) -> String {
     let mut out = String::from("[\n");
@@ -57,6 +79,7 @@ pub fn to_json(results: &[SweepResult]) -> String {
              \"offchip_busy_cycles\": {obusy}, \"stacked_busy_cycles\": {sbusy}, \
              \"offchip_avg_queue_delay\": {oqd}, \"stacked_avg_queue_delay\": {sqd}, \
              \"offchip_queue_hist\": {ohist}, \"stacked_queue_hist\": {shist}, \
+             \"per_core\": {per_core}, \
              \"prediction\": {prediction}}}{comma}\n",
             workload = json_escape(&p.workload.to_string()),
             design = json_escape(&p.design.label()),
@@ -82,6 +105,7 @@ pub fn to_json(results: &[SweepResult]) -> String {
             sqd = json_num(rep.stacked.avg_queue_delay()),
             ohist = hist_json(&rep.offchip.queue_hist),
             shist = hist_json(&rep.stacked.queue_hist),
+            per_core = per_core_json(rep),
             comma = if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -360,6 +384,158 @@ pub fn to_bandwidth_bench_json(
     )
 }
 
+/// Renders mix results as a JSON array: one object per
+/// `(scenario, design)` point with the consolidation metrics and a
+/// per-core array carrying each core's workload, IPC, MPKI, solo-IPC
+/// baseline and relative speedup.
+pub fn to_mix_json(results: &[crate::MixResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let p = &r.point;
+        let rep = &r.report;
+        let per_core: Vec<String> = rep
+            .per_core
+            .iter()
+            .enumerate()
+            .map(|(core, c)| {
+                format!(
+                    "{{\"core\": {core}, \"core_workload\": \"{}\", \"insts\": {}, \
+                     \"cycles\": {}, \"l2_misses\": {}, \"ipc\": {}, \"mpki\": {}, \
+                     \"solo_ipc\": {}, \"speedup\": {}}}",
+                    json_escape(p.scenario.workload_at(core as u8, 0).name()),
+                    c.insts,
+                    c.cycles,
+                    c.l2_misses,
+                    json_num(c.ipc()),
+                    json_num(c.mpki()),
+                    json_num(r.solo_ipc[core]),
+                    json_num(r.consolidation.per_core_speedup[core]),
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"scenario\": \"{scenario}\", \"design\": \"{design}\", \
+             \"capacity_mb\": {mb}, \"seed\": {seed}, \
+             \"warmup_records\": {warmup}, \"measured_records\": {measured}, \
+             \"key\": \"{key:016x}\", \
+             \"insts\": {insts}, \"cycles\": {cycles}, \"throughput\": {tput}, \
+             \"miss_ratio\": {miss}, \"offchip_bytes_per_inst\": {obpi}, \
+             \"weighted_speedup\": {ws}, \"fairness\": {fair}, \
+             \"per_core\": [{per_core}]}}{comma}\n",
+            scenario = json_escape(&p.scenario.name),
+            design = json_escape(&p.design.label()),
+            mb = p.capacity_mb(),
+            seed = p.seed(),
+            warmup = p.warmup(),
+            measured = p.measured(),
+            key = p.key().hash64(),
+            insts = rep.insts,
+            cycles = rep.cycles,
+            tput = json_num(rep.throughput()),
+            miss = json_num(rep.cache.miss_ratio()),
+            obpi = json_num(rep.offchip_bytes_per_inst()),
+            ws = json_num(r.consolidation.weighted_speedup),
+            fair = json_num(r.consolidation.fairness),
+            per_core = per_core.join(", "),
+            comma = if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders mix results as long-format CSV: one row per
+/// `(scenario, design, core)`, with the scenario-level consolidation
+/// metrics repeated on every row so each row is self-contained.
+pub fn to_mix_csv(results: &[crate::MixResult]) -> String {
+    let mut out = String::from(
+        "scenario,design,capacity_mb,core,core_workload,insts,cycles,l2_misses,\
+         ipc,mpki,solo_ipc,speedup,weighted_speedup,fairness\n",
+    );
+    for r in results {
+        let p = &r.point;
+        for (core, c) in r.report.per_core.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                csv_escape(&p.scenario.name),
+                csv_escape(&p.design.label()),
+                p.capacity_mb(),
+                core,
+                csv_escape(p.scenario.workload_at(core as u8, 0).name()),
+                c.insts,
+                c.cycles,
+                c.l2_misses,
+                c.ipc(),
+                c.mpki(),
+                r.solo_ipc[core],
+                r.consolidation.per_core_speedup[core],
+                r.consolidation.weighted_speedup,
+                r.consolidation.fairness,
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the consolidation benchmark summary for a finished mix
+/// grid: per `(scenario, design)`, the weighted speedup, fairness,
+/// pod throughput and simulation cost, plus each design's geomean
+/// weighted speedup across scenarios. CI emits this as
+/// `BENCH_mix.json` next to `BENCH_designspace.json` and
+/// `BENCH_bandwidth.json`.
+pub fn to_mix_bench_json(results: &[crate::MixResult], wall_secs: f64) -> String {
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        rows.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"design\": \"{}\", \
+             \"weighted_speedup\": {}, \"fairness\": {}, \"throughput\": {}, \
+             \"sim_secs\": {}, \"memoized\": {}}}{}\n",
+            json_escape(&r.point.scenario.name),
+            json_escape(&r.point.design.label()),
+            json_num(r.consolidation.weighted_speedup),
+            json_num(r.consolidation.fairness),
+            json_num(r.report.throughput()),
+            json_num(r.sim_secs),
+            r.memoized,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+
+    // Per-design geomean weighted speedup across scenarios.
+    let mut order: Vec<String> = Vec::new();
+    for r in results {
+        let label = r.point.design.label();
+        if !order.contains(&label) {
+            order.push(label);
+        }
+    }
+    let mut designs = String::new();
+    for (i, label) in order.iter().enumerate() {
+        let speedups: Vec<f64> = results
+            .iter()
+            .filter(|r| r.point.design.label() == *label)
+            .map(|r| r.consolidation.weighted_speedup)
+            .collect();
+        designs.push_str(&format!(
+            "    {{\"design\": \"{}\", \"scenarios\": {}, \
+             \"geomean_weighted_speedup\": {}}}{}\n",
+            json_escape(label),
+            speedups.len(),
+            json_num(fc_types::geomean(&speedups)),
+            if i + 1 == order.len() { "" } else { "," },
+        ));
+    }
+
+    format!(
+        "{{\n  \"grid\": \"mix\",\n  \"total_points\": {},\n  \"wall_secs\": {},\n  \
+         \"points\": [\n{}  ],\n  \"designs\": [\n{}  ]\n}}\n",
+        results.len(),
+        json_num(wall_secs),
+        rows,
+        designs,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +631,53 @@ mod tests {
         assert!(bench.contains("\"workload\": \"web search\""));
         assert!(bench.contains("\"usable_gbs\""));
         assert_eq!(bench.matches("\"unloaded_latency\"").count(), 2);
+    }
+
+    #[test]
+    fn json_carries_per_core_counters() {
+        let results = sample_results();
+        let json = to_json(&results);
+        // 16 cores per point: every point carries a per-core array.
+        assert_eq!(json.matches("\"per_core\"").count(), 2);
+        assert!(json.contains("\"core\": 15"));
+        assert!(json.contains("\"ipc\""));
+        assert!(json.contains("\"mpki\""));
+    }
+
+    #[test]
+    fn mix_emitters_cover_scenarios_and_cores() {
+        use fc_sim::{ScenarioSpec, SimConfig};
+        let grid = crate::MixGrid::new(
+            vec![ScenarioSpec::split(
+                WorkloadKind::DataServing,
+                WorkloadKind::MapReduce,
+                4,
+            )],
+            vec![DesignSpec::baseline(), DesignSpec::footprint(64)],
+            RunScale::tiny(),
+        )
+        .with_config(SimConfig::small());
+        let results = crate::run_mix(&grid, &SweepEngine::new().with_threads(2).quiet());
+
+        let json = to_mix_json(&results);
+        assert_eq!(json.matches("\"scenario\"").count(), 2);
+        assert_eq!(json.matches("\"core_workload\"").count(), 8);
+        assert!(json.contains("\"weighted_speedup\""));
+        assert!(json.contains("\"fairness\""));
+        assert!(json.contains("\"core_workload\": \"Data Serving\""));
+        assert!(json.contains("\"core_workload\": \"MapReduce\""));
+
+        let csv = to_mix_csv(&results);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * 4, "header + one row per core");
+        assert!(lines[0].starts_with("scenario,design,"));
+        assert!(lines[0].contains("solo_ipc"));
+        assert!(lines[1].contains("Data Serving+MapReduce"));
+
+        let bench = to_mix_bench_json(&results, 0.5);
+        assert!(bench.contains("\"grid\": \"mix\""));
+        assert!(bench.contains("\"geomean_weighted_speedup\""));
+        assert_eq!(bench.matches("\"weighted_speedup\"").count(), 2);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod emit;
 mod executor;
 pub mod loaded;
+pub mod mix;
 mod progress;
 mod scale;
 mod spec;
@@ -59,6 +60,7 @@ mod trace_cache;
 
 pub use executor::{SweepEngine, SweepResult};
 pub use loaded::{run_loaded, LoadedGrid, LoadedResult};
+pub use mix::{run_mix, MixGrid, MixPoint, MixResult};
 pub use progress::Progress;
 pub use scale::RunScale;
 pub use spec::{SweepPoint, SweepSpec};
@@ -66,5 +68,5 @@ pub use store::{PointKey, ResultStore};
 pub use trace_cache::TraceCache;
 
 // Re-exported so sweep callers can describe grids without extra deps.
-pub use fc_sim::{DesignSpec, SimConfig};
+pub use fc_sim::{DesignSpec, ScenarioSpec, SimConfig};
 pub use fc_trace::WorkloadKind;

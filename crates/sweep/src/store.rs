@@ -202,6 +202,7 @@ mod tests {
         SimReport {
             insts,
             cycles: 1,
+            per_core: Vec::new(),
             cache: Default::default(),
             offchip: Default::default(),
             stacked: Default::default(),

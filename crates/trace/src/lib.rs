@@ -7,7 +7,7 @@
 //! methodology:
 //!
 //! * a compact binary **trace format** ([`TraceRecord`], [`TraceWriter`],
-//!   [`TraceReader`]) so externally captured traces can be replayed, and
+//!   [`TraceReader`]) so externally captured traces can be replayed,
 //! * **synthetic workload generators** ([`TraceGenerator`],
 //!   [`WorkloadKind`]) that reproduce, per workload, the statistical
 //!   properties the paper's mechanisms depend on: PC-correlated spatial
@@ -15,7 +15,11 @@
 //!   (Figure 4), singleton-page populations, dataset sizes far beyond the
 //!   largest cache, and the per-workload quirks the paper calls out
 //!   (MapReduce's low density at small caches, SAT Solver's phase drift,
-//!   the multiprogrammed mix's bimodal behavior).
+//!   the multiprogrammed mix's bimodal behavior), and
+//! * **scenario mixes** ([`ScenarioSpec`], [`ScenarioGenerator`]) that
+//!   assign a (possibly different) workload to each core — the
+//!   consolidated-server regime the simulator's per-core accounting and
+//!   `fc_sweep --grid mix` measure.
 //!
 //! # Examples
 //!
@@ -32,8 +36,13 @@
 
 mod io;
 mod record;
+pub mod scenario;
 pub mod synth;
 
 pub use io::{TraceIoError, TraceReader, TraceWriter};
 pub use record::TraceRecord;
+pub use scenario::{
+    resolve_scenarios, scenario_family, PhaseSchedule, ScenarioFamily, ScenarioGenerator,
+    ScenarioSpec, SCENARIO_FAMILIES,
+};
 pub use synth::{ClassSpec, PatternFamily, TraceGenerator, WorkloadKind, WorkloadSpec};

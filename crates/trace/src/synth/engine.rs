@@ -68,10 +68,17 @@ impl RuntimeClass {
     }
 }
 
+/// One core's event-driven visit schedule. Crate-visible so the
+/// scenario generator (`crate::scenario`) can compose per-core engines
+/// running *different* workloads into one interleaved stream.
 #[derive(Debug)]
-struct CoreEngine {
+pub(crate) struct CoreEngine {
     core: u8,
     seed: u64,
+    /// Stream salt: shifted into the high address bits and the PC so
+    /// distinct workloads co-located in a scenario mix never alias
+    /// regions or access functions. Zero for homogeneous streams.
+    salt: u64,
     rng: SmallRng,
     classes: Vec<RuntimeClass>,
     slots: Vec<Visit>,
@@ -83,11 +90,12 @@ struct CoreEngine {
 }
 
 impl CoreEngine {
-    fn new(spec: &WorkloadSpec, core: u8, seed: u64) -> Self {
+    pub(crate) fn new(spec: &WorkloadSpec, core: u8, seed: u64, salt: u64) -> Self {
         let rng = SmallRng::seed_from_u64(splitmix(seed ^ (core as u64) << 8));
         let mut engine = Self {
             core,
             seed,
+            salt,
             rng,
             classes: Vec::new(),
             slots: Vec::new(),
@@ -108,7 +116,7 @@ impl CoreEngine {
             } else {
                 0
             };
-            let region_base = ((idx as u64 + 1) << 40) | private;
+            let region_base = (engine.salt << 44) | ((idx as u64 + 1) << 40) | private;
             let zipf = match class.select {
                 PageSelect::Zipf(theta) => Some(Zipf::new(class.pages, theta)),
                 _ => None,
@@ -192,13 +200,24 @@ impl CoreEngine {
     }
 
     /// Scheduled time of this core's next record.
-    fn peek_time(&self) -> u64 {
+    pub(crate) fn peek_time(&self) -> u64 {
         let Reverse((t, _)) = self.heap.peek().expect("core heap never empties");
         (*t).max(self.last_inst + 1)
     }
 
+    /// Instruction time of the last emitted record (core-local clock).
+    pub(crate) fn last_inst(&self) -> u64 {
+        self.last_inst
+    }
+
+    /// Number of classes this core runs (zero means the spec's core
+    /// sets exclude it).
+    pub(crate) fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
     /// Emits this core's next record.
-    fn emit(&mut self) -> TraceRecord {
+    pub(crate) fn emit(&mut self) -> TraceRecord {
         let Reverse((t, slot)) = self.heap.pop().expect("core heap never empties");
         let now = t.max(self.last_inst + 1);
         let gap = (now - self.last_inst).min(u32::MAX as u64) as u32;
@@ -221,7 +240,8 @@ impl CoreEngine {
         } else {
             0
         };
-        let pc = 0x40_0000 | pc_core | (class as u64) << 16 | (func as u64) << 2;
+        let pc =
+            (self.salt << 32) | 0x40_0000 | pc_core | (class as u64) << 16 | (func as u64) << 2;
         let write_frac = rc.spec.write_frac;
         let reuse = rc.spec.reuse;
         let kind = if self.rng.random::<f64>() < write_frac {
@@ -300,7 +320,9 @@ impl TraceGenerator {
     /// Panics if `cores == 0` or if some core ends up with no classes.
     pub fn from_spec(spec: &WorkloadSpec, cores: u8, seed: u64) -> Self {
         assert!(cores > 0, "need at least one core");
-        let engines: Vec<CoreEngine> = (0..cores).map(|c| CoreEngine::new(spec, c, seed)).collect();
+        let engines: Vec<CoreEngine> = (0..cores)
+            .map(|c| CoreEngine::new(spec, c, seed, 0))
+            .collect();
         for e in &engines {
             assert!(
                 !e.classes.is_empty(),

@@ -25,6 +25,9 @@ pub use engine::TraceGenerator;
 pub use pattern::PatternFamily;
 pub use zipf::Zipf;
 
+pub(crate) use engine::CoreEngine;
+pub(crate) use pattern::splitmix;
+
 use serde::{Deserialize, Serialize};
 
 /// How a class picks the next page to visit.

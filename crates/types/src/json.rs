@@ -1,8 +1,8 @@
-//! A minimal JSON reader for [`DesignSpec`](crate::DesignSpec)
-//! deserialization.
+//! A minimal JSON reader shared by every spec layer (design specs in
+//! `fc_sim`, scenario specs in `fc_trace`).
 //!
 //! The container builds offline, so `serde_json` is unavailable (the
-//! vendored `serde` is a marker shim). Design specs are small, flat
+//! vendored `serde` is a marker shim). Specs are small, flat
 //! documents; this parser covers exactly the JSON they use — objects,
 //! arrays, strings with the common escapes, numbers, booleans, null —
 //! and reports errors by byte offset.

@@ -40,6 +40,7 @@ mod addr;
 mod blockstate;
 mod footprint;
 mod geometry;
+pub mod json;
 mod util;
 
 pub use access::{AccessKind, CoreId, MemAccess};

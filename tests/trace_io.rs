@@ -1,0 +1,128 @@
+//! Trace I/O round-trip and error-path coverage (integration level):
+//! property-based round-trips over arbitrary multi-core records,
+//! generator- and scenario-produced streams through the binary format,
+//! and every `TraceIoError` variant.
+
+use fc_trace::{
+    ScenarioGenerator, ScenarioSpec, TraceGenerator, TraceIoError, TraceReader, TraceRecord,
+    TraceWriter, WorkloadKind,
+};
+use fc_types::{AccessKind, Pc, PhysAddr};
+use proptest::prelude::*;
+
+fn write_all(records: &[TraceRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::new(&mut buf).expect("header writes");
+    for r in records {
+        w.write(r).expect("record writes");
+    }
+    w.finish().expect("flush");
+    buf
+}
+
+fn read_all(buf: &[u8]) -> Vec<TraceRecord> {
+    TraceReader::new(buf)
+        .expect("valid header")
+        .map(|r| r.expect("valid record"))
+        .collect()
+}
+
+#[test]
+fn generator_stream_round_trips() {
+    let records: Vec<_> = TraceGenerator::new(WorkloadKind::DataServing, 16, 7)
+        .take(10_000)
+        .collect();
+    assert_eq!(read_all(&write_all(&records)), records);
+}
+
+#[test]
+fn scenario_stream_round_trips() {
+    // Heterogeneous mix records (high address bits carry the workload
+    // salt) survive the fixed-width format too.
+    let spec = ScenarioSpec::split(WorkloadKind::DataServing, WorkloadKind::MapReduce, 16);
+    let records: Vec<_> = ScenarioGenerator::new(&spec, 7).take(10_000).collect();
+    assert_eq!(read_all(&write_all(&records)), records);
+}
+
+#[test]
+fn bad_magic_is_detected() {
+    assert!(matches!(
+        TraceReader::new(&b"NOTATRACE!"[..]).unwrap_err(),
+        TraceIoError::BadMagic
+    ));
+    // Too short for a header at all.
+    assert!(matches!(
+        TraceReader::new(&b"FC"[..]).unwrap_err(),
+        TraceIoError::BadMagic
+    ));
+}
+
+#[test]
+fn truncation_is_detected_at_every_cut() {
+    let records: Vec<_> = TraceGenerator::new(WorkloadKind::WebSearch, 4, 3)
+        .take(3)
+        .collect();
+    let buf = write_all(&records);
+    // Cut anywhere strictly inside the final record.
+    for cut in 1..21 {
+        let mut short = buf.clone();
+        short.truncate(buf.len() - cut);
+        let results: Vec<_> = TraceReader::new(short.as_slice()).unwrap().collect();
+        assert_eq!(results.len(), 3, "cut {cut}: two records + one error");
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert!(
+            matches!(results[2], Err(TraceIoError::TruncatedRecord)),
+            "cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn invalid_kind_byte_is_detected() {
+    let records: Vec<_> = TraceGenerator::new(WorkloadKind::WebSearch, 4, 3)
+        .take(2)
+        .collect();
+    let mut buf = write_all(&records);
+    // Second record's kind byte: 8 (magic) + 22 (record) + 20 (offset).
+    buf[8 + 22 + 20] = 7;
+    let results: Vec<_> = TraceReader::new(buf.as_slice()).unwrap().collect();
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(TraceIoError::InvalidKind(7))));
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_multicore_records_round_trip(
+        recs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<bool>(), any::<u8>(), 1u32..=u32::MAX),
+            0..200)
+    ) {
+        let records: Vec<TraceRecord> = recs
+            .into_iter()
+            .map(|(pc, addr, write, core, gap)| TraceRecord {
+                pc: Pc::new(pc),
+                addr: PhysAddr::new(addr),
+                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                core,
+                inst_gap: gap,
+            })
+            .collect();
+        prop_assert_eq!(read_all(&write_all(&records)), records);
+    }
+
+    #[test]
+    fn truncated_tails_never_parse_silently(extra in 1usize..21) {
+        // A valid stream plus a partial record must yield exactly one
+        // TruncatedRecord error after the valid prefix.
+        let records: Vec<_> = TraceGenerator::new(WorkloadKind::MapReduce, 2, 5)
+            .take(4)
+            .collect();
+        let mut buf = write_all(&records);
+        let tail = write_all(&records[..1]);
+        buf.extend_from_slice(&tail[8..8 + extra]);
+        let results: Vec<_> = TraceReader::new(buf.as_slice()).unwrap().collect();
+        prop_assert_eq!(results.len(), 5);
+        prop_assert!(results[..4].iter().all(|r| r.is_ok()));
+        prop_assert!(matches!(results[4], Err(TraceIoError::TruncatedRecord)));
+    }
+}
