@@ -13,6 +13,7 @@ mod fig8;
 mod fig9;
 mod loaded_latency;
 mod mix;
+mod sampling;
 mod tables;
 
 pub use ablations::{
@@ -29,6 +30,7 @@ pub use fig8::fig8;
 pub use fig9::fig9;
 pub use loaded_latency::loaded_latency;
 pub use mix::mix;
+pub use sampling::sampling;
 pub use tables::{table1, table4};
 
 use crate::Lab;
@@ -110,6 +112,7 @@ pub fn run_all(lab: &mut Lab) -> String {
         fig9(lab),
         loaded_latency(lab),
         mix(lab),
+        sampling(lab),
         fig10(lab),
         fig11(lab),
         fig12(),

@@ -1,0 +1,90 @@
+//! Sampled simulation: the speedup-vs-error table.
+//!
+//! Runs the design catalogue through the `fc-sample` interval sampler
+//! and through full detailed replay on the same long traces, then
+//! reports each design's sampled IPC estimate (with its 95% CI),
+//! relative error, and end-to-end point speedup. This is the
+//! experiment-harness face of `fc_sweep --grid sampled --bench
+//! BENCH_sample.json`.
+
+use fc_sweep::{run_sampled_grid, RunScale, SampledGrid, SweepSpec, WorkloadKind};
+
+use crate::experiments::Table;
+use crate::Lab;
+
+/// The design families on the sampling table: the paper's contenders
+/// plus the related-work designs, at a capacity whose warm windows are
+/// small next to the trace (sampling warms proportionally to capacity,
+/// so its payoff is the long-trace regime).
+fn designs() -> Vec<fc_sweep::DesignSpec> {
+    fc_sim::resolve_designs("baseline,page,footprint,block,alloy,banshee,gemini", &[8])
+        .expect("registry families resolve")
+}
+
+/// A long-trace sizing that fits the lab engine's shared trace cache:
+/// the warm windows cover a small fraction of the run, so the sampler
+/// has room to skip.
+fn sampling_scale() -> RunScale {
+    RunScale {
+        warmup_base: 400_000,
+        warmup_per_mb: 0,
+        measured_base: 2_500_000,
+        measured_per_mb: 0,
+    }
+}
+
+/// Regenerates the sampled-simulation speedup-vs-error table.
+pub fn sampling(lab: &mut Lab) -> String {
+    let spec = SweepSpec::new(sampling_scale())
+        .with_seed(lab.base_seed())
+        .grid(&[WorkloadKind::WebSearch], &designs());
+    let grid = SampledGrid::auto(&spec);
+
+    // Shared synthesis up front: both paths replay the same cached
+    // stream, so neither side's timing pays for it.
+    grid.prefetch_traces(lab.engine());
+    let sampled = run_sampled_grid(&grid, lab.engine());
+    let full = lab.engine().run_spec(&spec);
+
+    let mut table = Table::new(&[
+        "design",
+        "full IPC",
+        "sampled IPC (95% CI)",
+        "rel err",
+        "in CI",
+        "replayed",
+        "speedup",
+    ]);
+    for (s, f) in sampled.iter().zip(&full) {
+        let full_ipc = f.report.throughput();
+        let est = &s.report.ipc;
+        let speedup = if s.sim_secs > 0.0 {
+            f.sim_secs / s.sim_secs
+        } else {
+            0.0
+        };
+        table.row(vec![
+            f.point.design.label(),
+            format!("{full_ipc:.3}"),
+            format!("{:.3} ± {:.3}", est.mean, est.ci_half),
+            format!("{:+.2}%", (est.mean / full_ipc - 1.0) * 100.0),
+            if est.contains(full_ipc) { "yes" } else { "no" }.into(),
+            format!("{:.0}%", s.report.replayed_fraction() * 100.0),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    format!(
+        "## Sampled simulation — speedup vs error (8 MB, 2.9M-record traces)\n\n\
+         Each design runs once in full detailed mode and once through the\n\
+         `fc-sample` interval sampler (functional warmup windows scaled to\n\
+         the design's capacity and state memory, eight measured intervals,\n\
+         95% Student-t confidence intervals). `replayed` is the fraction\n\
+         of the trace the sampled run touched at all; `speedup` compares\n\
+         end-to-end point cost on the shared cached trace. Expected shape:\n\
+         page-organized designs sample at 5-10x with sub-2% error;\n\
+         Banshee's frequency counters out-live any skippable window, so\n\
+         its auto plan falls back to exhaustive warming (~1.3x, unbiased\n\
+         by construction) rather than sample badly.\n\n{}",
+        table.to_markdown()
+    )
+}

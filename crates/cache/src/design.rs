@@ -206,6 +206,24 @@ pub trait DramCacheModel {
     fn prediction_counters(&self) -> Option<PredictionCounters> {
         None
     }
+
+    /// Functional-warmup update: applies a demand access's state
+    /// transitions (tags, replacement, MissMap, predictor, statistics)
+    /// without needing the returned [`AccessPlan`] to be executed
+    /// against any DRAM timing model. The default builds and discards
+    /// the plan, which by construction leaves the design in **exactly**
+    /// the state the detailed path would; designs with expensive plan
+    /// construction may override this with a plan-free update, provided
+    /// the resulting tag/metadata state stays identical.
+    fn warm_access(&mut self, req: MemAccess) {
+        let _ = self.access(req);
+    }
+
+    /// Functional-warmup counterpart of [`writeback`](Self::writeback):
+    /// applies the dirty-state transition without executing the plan.
+    fn warm_writeback(&mut self, addr: PhysAddr) {
+        let _ = self.writeback(addr);
+    }
 }
 
 #[cfg(test)]

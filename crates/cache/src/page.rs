@@ -208,6 +208,61 @@ impl DramCacheModel for PageBasedCache {
         &self.stats
     }
 
+    // Warmup-only update path: the exact state transitions and
+    // statistics of `access`/`writeback` without constructing the
+    // `AccessPlan`'s op vectors (the only heap work on this design's
+    // hot path). The sampled simulator's functional mode calls these
+    // once per fast-forwarded record, so the savings compound.
+    // Invariant (enforced by `warm_path_matches_detailed_path` below):
+    // a cache driven by the warm methods is indistinguishable — tags,
+    // replacement order, and every counter — from one driven by the
+    // plan-building methods.
+
+    fn warm_access(&mut self, req: MemAccess) {
+        self.stats.accesses += 1;
+        let page = self.geom.page_of(req.addr);
+        let offset = self.geom.block_offset(req.addr);
+        let (set, tag) = self.decompose(page);
+        if let Some(info) = self.tags.get(set, tag) {
+            info.touched.insert(offset);
+            self.stats.hits += 1;
+            self.stats.stacked_read_blocks += 1;
+            return;
+        }
+        self.stats.misses += 1;
+        let blocks = self.geom.blocks_per_page() as u32;
+        let mut info = PageInfo::default();
+        info.touched.insert(offset);
+        if let Some((_victim_tag, victim)) = self.tags.insert(set, tag, info) {
+            self.stats.evictions += 1;
+            self.stats.density.record(victim.touched.len());
+            if !victim.dirty.is_empty() {
+                self.stats.dirty_evictions += 1;
+                let wb = match self.granularity {
+                    WritebackGranularity::Page => self.geom.blocks_per_page() as u32,
+                    WritebackGranularity::DirtyBlocks => victim.dirty.len() as u32,
+                };
+                self.stats.stacked_read_blocks += wb as u64;
+                self.stats.offchip_write_blocks += wb as u64;
+            }
+        }
+        self.stats.fill_blocks += blocks as u64;
+        self.stats.offchip_read_blocks += blocks as u64;
+        self.stats.stacked_write_blocks += blocks as u64;
+    }
+
+    fn warm_writeback(&mut self, addr: PhysAddr) {
+        let page = self.geom.page_of(addr);
+        let offset = self.geom.block_offset(addr);
+        let (set, tag) = self.decompose(page);
+        if let Some(info) = self.tags.get(set, tag) {
+            info.dirty.insert(offset);
+            self.stats.stacked_write_blocks += 1;
+        } else {
+            self.stats.offchip_write_blocks += 1;
+        }
+    }
+
     fn storage(&self) -> Vec<StorageItem> {
         let bytes = self.tags.capacity() as u64 * TAG_ENTRY_BITS / 8;
         vec![StorageItem {
@@ -329,6 +384,46 @@ mod tests {
         let plan = c.writeback(PhysAddr::new(0x9999));
         assert_eq!(plan.offchip_write_blocks(), 1);
         assert_eq!(plan.stacked_write_blocks(), 0);
+    }
+
+    #[test]
+    fn warm_path_matches_detailed_path() {
+        // The warmup-only update path must leave the cache — tags,
+        // replacement order, and every statistic — exactly where the
+        // plan-building path would, for both writeback granularities.
+        for granularity in [
+            WritebackGranularity::Page,
+            WritebackGranularity::DirtyBlocks,
+        ] {
+            let mut detailed =
+                PageBasedCache::with_granularity(1 << 20, PageGeometry::new(2048), granularity);
+            let mut warm =
+                PageBasedCache::with_granularity(1 << 20, PageGeometry::new(2048), granularity);
+            // A mixed stream with reuse, conflict evictions and dirty
+            // pages (addresses stride the set index so evictions fire).
+            let mut addr = 0x40u64;
+            for i in 0..4_000u64 {
+                addr = addr
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = (addr >> 16) % (64 << 20);
+                if i % 3 == 0 {
+                    let _ = detailed.writeback(PhysAddr::new(a));
+                    warm.warm_writeback(PhysAddr::new(a));
+                } else {
+                    let req = MemAccess::read(Pc::new(0x400), PhysAddr::new(a), 0);
+                    let _ = detailed.access(req);
+                    warm.warm_access(req);
+                }
+            }
+            assert_eq!(detailed.stats(), warm.stats(), "{granularity:?}");
+            // Replacement state must agree too: the same probe stream
+            // produces identical plans afterwards.
+            for probe in (0..64u64).map(|i| i * 0x10040) {
+                let req = MemAccess::read(Pc::new(0x400), PhysAddr::new(probe), 0);
+                assert_eq!(detailed.access(req), warm.access(req));
+            }
+        }
     }
 
     #[test]

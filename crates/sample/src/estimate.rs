@@ -1,0 +1,184 @@
+//! Point estimates with Student-t confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 95% Student-t critical values for 1..=30 degrees of
+/// freedom; beyond 30 the normal approximation (1.96) is used.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 95% t critical value for `df` degrees of freedom.
+fn t95(df: u64) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => T95[(d - 1) as usize],
+        _ => 1.96,
+    }
+}
+
+/// A sampled metric: mean, spread, and a 95% confidence half-width.
+///
+/// With a single sample the half-width is infinite — one interval
+/// carries no variance information — so downstream "within CI" checks
+/// must always be paired with an absolute error bound.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Point estimate (mean of the per-interval values; for stratified
+    /// plans, the sample-weighted mean of stratum means).
+    pub mean: f64,
+    /// Sample standard deviation of the per-interval values.
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval around `mean`.
+    pub ci_half: f64,
+    /// Number of measured intervals behind the estimate.
+    pub n: u64,
+}
+
+impl Estimate {
+    /// Estimates from independent per-interval samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "an estimate needs at least one sample");
+        let n = samples.len() as u64;
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Self {
+                mean,
+                stddev: 0.0,
+                ci_half: f64::INFINITY,
+                n,
+            };
+        }
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        let ci_half = t95(n - 1) * stddev / (n as f64).sqrt();
+        Self {
+            mean,
+            stddev,
+            ci_half,
+            n,
+        }
+    }
+
+    /// Stratified estimate: samples are grouped (e.g., by scenario
+    /// phase), the mean is the sample-weighted mean of stratum means,
+    /// and the variance combines within-stratum variances — sampling
+    /// periods that alias a phase rotation stop inflating the CI.
+    /// Strata with fewer than two samples fall back to the pooled
+    /// estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every stratum is empty.
+    pub fn stratified(strata: &[Vec<f64>]) -> Self {
+        let filled: Vec<&Vec<f64>> = strata.iter().filter(|s| !s.is_empty()).collect();
+        let pooled: Vec<f64> = filled.iter().flat_map(|s| s.iter().copied()).collect();
+        if filled.len() < 2 || filled.iter().any(|s| s.len() < 2) {
+            return Self::from_samples(&pooled);
+        }
+        let n: u64 = pooled.len() as u64;
+        let mut mean = 0.0;
+        let mut var_of_mean = 0.0;
+        let mut min_df = u64::MAX;
+        for s in &filled {
+            let nj = s.len() as f64;
+            let w = nj / n as f64;
+            let mj = s.iter().sum::<f64>() / nj;
+            let vj = s.iter().map(|x| (x - mj) * (x - mj)).sum::<f64>() / (nj - 1.0);
+            mean += w * mj;
+            var_of_mean += w * w * vj / nj;
+            min_df = min_df.min(s.len() as u64 - 1);
+        }
+        let pooled_est = Self::from_samples(&pooled);
+        Self {
+            mean,
+            stddev: pooled_est.stddev,
+            ci_half: t95(min_df) * var_of_mean.sqrt(),
+            n,
+        }
+    }
+
+    /// Whether `value` lies within the confidence interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci_half
+    }
+
+    /// `ci_half / |mean|` — the estimate's relative precision (infinite
+    /// for a zero mean).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci_half / self.mean.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_zero_width() {
+        let e = Estimate::from_samples(&[2.0; 10]);
+        assert_eq!(e.mean, 2.0);
+        assert_eq!(e.stddev, 0.0);
+        assert_eq!(e.ci_half, 0.0);
+        assert!(e.contains(2.0));
+        assert!(!e.contains(2.1));
+    }
+
+    #[test]
+    fn single_sample_is_honest_about_ignorance() {
+        let e = Estimate::from_samples(&[5.0]);
+        assert_eq!(e.mean, 5.0);
+        assert!(e.ci_half.is_infinite());
+        assert!(e.contains(100.0), "an infinite CI contains everything");
+    }
+
+    #[test]
+    fn known_interval() {
+        // n=4, mean 2.5, s = sqrt(5/3): ci = 3.182 * s / 2.
+        let e = Estimate::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((e.mean - 2.5).abs() < 1e-12);
+        let s = (5.0f64 / 3.0).sqrt();
+        assert!((e.stddev - s).abs() < 1e-12);
+        assert!((e.ci_half - 3.182 * s / 2.0).abs() < 1e-9);
+        assert!((e.relative_half_width() - e.ci_half / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_tightens_with_df_and_flattens() {
+        assert!(t95(1) > t95(2));
+        assert!(t95(30) > t95(31));
+        assert_eq!(t95(31), 1.96);
+        assert_eq!(t95(1_000), 1.96);
+    }
+
+    #[test]
+    fn stratified_separates_phase_means() {
+        // Two strata with distinct means but tiny within-stratum
+        // variance: the stratified CI is much tighter than pooled.
+        let a = vec![1.00, 1.01, 0.99, 1.00];
+        let b = vec![2.00, 2.01, 1.99, 2.00];
+        let pooled: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let strat = Estimate::stratified(&[a, b]);
+        let plain = Estimate::from_samples(&pooled);
+        assert!((strat.mean - 1.5).abs() < 1e-9);
+        assert!((plain.mean - 1.5).abs() < 1e-9);
+        assert!(strat.ci_half < plain.ci_half / 5.0);
+    }
+
+    #[test]
+    fn thin_strata_fall_back_to_pooled() {
+        let strat = Estimate::stratified(&[vec![1.0], vec![2.0, 3.0]]);
+        let pooled = Estimate::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(strat, pooled);
+    }
+}

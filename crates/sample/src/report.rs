@@ -1,0 +1,305 @@
+//! Sampled measurement reports: per-interval samples and their
+//! aggregation into estimates.
+
+use serde::{Deserialize, Serialize};
+
+use fc_sim::SimReport;
+
+use crate::estimate::Estimate;
+use crate::plan::SamplePlan;
+
+/// One measured interval's counter deltas (a compact projection of the
+/// interval's [`SimReport`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// Interval ordinal within the run (0-based).
+    pub index: u64,
+    /// Absolute record index where the measured slice began.
+    pub start_record: u64,
+    /// Instructions committed in the interval (all cores).
+    pub insts: u64,
+    /// Cycles elapsed in the interval.
+    pub cycles: u64,
+    /// Demand accesses reaching the DRAM-cache level (= L2 misses).
+    pub accesses: u64,
+    /// DRAM-cache hits in the interval.
+    pub hits: u64,
+    /// DRAM-cache misses in the interval.
+    pub misses: u64,
+    /// Off-chip traffic in bytes over the interval.
+    pub offchip_bytes: u64,
+}
+
+impl IntervalSample {
+    /// Projects an interval's report delta into a sample.
+    pub fn from_report(index: u64, start_record: u64, delta: &SimReport) -> Self {
+        Self {
+            index,
+            start_record,
+            insts: delta.insts,
+            cycles: delta.cycles,
+            accesses: delta.cache.accesses,
+            hits: delta.cache.hits,
+            misses: delta.cache.misses,
+            offchip_bytes: delta.offchip_bytes(),
+        }
+    }
+
+    /// Instructions per cycle over the interval.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// DRAM-level misses per kilo-instruction over the interval.
+    pub fn mpki(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.accesses as f64 * 1000.0 / self.insts as f64
+        }
+    }
+
+    /// DRAM-cache hit ratio over the interval.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Off-chip bytes per instruction over the interval.
+    pub fn offchip_bytes_per_inst(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.offchip_bytes as f64 / self.insts as f64
+        }
+    }
+}
+
+/// Everything a sampled run measures: the interval samples, their
+/// aggregation into confidence-bounded estimates, and the work
+/// accounting that quantifies the speedup over a full detailed run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SampledReport {
+    /// The plan that produced this report.
+    pub plan: SamplePlan,
+    /// Records the equivalent full run would replay (warmup + measured).
+    pub total_records: u64,
+    /// Records actually replayed (functional + detailed).
+    pub replayed_records: u64,
+    /// Records replayed through the detailed timed path.
+    pub detailed_records: u64,
+    /// Measured records (sum of interval lengths).
+    pub measured_records: u64,
+    /// The per-interval samples, in run order.
+    pub intervals: Vec<IntervalSample>,
+    /// Total instructions over the measured intervals.
+    pub insts: u64,
+    /// Total cycles over the measured intervals.
+    pub cycles: u64,
+    /// IPC estimate (pod throughput, Section 5.4's metric).
+    pub ipc: Estimate,
+    /// Misses-per-kilo-instruction estimate.
+    pub mpki: Estimate,
+    /// DRAM-cache hit-ratio estimate.
+    pub hit_ratio: Estimate,
+    /// Off-chip bytes-per-instruction estimate (bandwidth demand).
+    pub offchip_bytes_per_inst: Estimate,
+}
+
+impl SampledReport {
+    /// Aggregates interval samples under `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty (a sampled run must measure
+    /// something).
+    pub fn aggregate(
+        plan: SamplePlan,
+        total_records: u64,
+        replayed_records: u64,
+        detailed_records: u64,
+        intervals: Vec<IntervalSample>,
+    ) -> Self {
+        assert!(
+            !intervals.is_empty(),
+            "a sampled run must measure at least one interval \
+             (measured region shorter than the plan period?)"
+        );
+        let estimate = |f: &dyn Fn(&IntervalSample) -> f64| -> Estimate {
+            let xs: Vec<f64> = intervals.iter().map(f).collect();
+            let mut e = if plan.strata <= 1 {
+                Estimate::from_samples(&xs)
+            } else {
+                let mut strata: Vec<Vec<f64>> = vec![Vec::new(); plan.strata as usize];
+                for (k, s) in intervals.iter().enumerate() {
+                    strata[k % plan.strata as usize].push(f(s));
+                }
+                Estimate::stratified(&strata)
+            };
+            // Conservative drift inflation: a run still converging (a
+            // cache filling across the measured region) offsets the
+            // sampled frame from the full-run aggregate systematically
+            // — a component the iid Student-t term cannot see. The
+            // first-half/second-half mean gap is that drift's
+            // first-order signature; folding half of it into the
+            // half-width makes the interval a total-uncertainty bound
+            // (it vanishes for stationary runs).
+            if xs.len() >= 4 && e.ci_half.is_finite() {
+                let (a, b) = xs.split_at(xs.len() / 2);
+                let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+                e.ci_half += (mean(a) - mean(b)).abs() / 2.0;
+            }
+            e
+        };
+        let ipc = estimate(&IntervalSample::ipc);
+        let mpki = estimate(&IntervalSample::mpki);
+        let hit_ratio = estimate(&IntervalSample::hit_ratio);
+        let offchip_bytes_per_inst = estimate(&IntervalSample::offchip_bytes_per_inst);
+        Self {
+            plan,
+            total_records,
+            replayed_records,
+            detailed_records,
+            measured_records: intervals.len() as u64 * plan.interval,
+            insts: intervals.iter().map(|s| s.insts).sum(),
+            cycles: intervals.iter().map(|s| s.cycles).sum(),
+            intervals,
+            ipc,
+            mpki,
+            hit_ratio,
+            offchip_bytes_per_inst,
+        }
+    }
+
+    /// Fraction of the equivalent full run that was measured.
+    pub fn measured_fraction(&self) -> f64 {
+        if self.total_records == 0 {
+            0.0
+        } else {
+            self.measured_records as f64 / self.total_records as f64
+        }
+    }
+
+    /// Fraction of the equivalent full run that was replayed at all —
+    /// the deterministic work bound behind the wall-clock speedup.
+    pub fn replayed_fraction(&self) -> f64 {
+        if self.total_records == 0 {
+            0.0
+        } else {
+            self.replayed_records as f64 / self.total_records as f64
+        }
+    }
+
+    /// Ratio-of-sums throughput over all measured intervals (the
+    /// pooled counterpart of the [`ipc`](Self::ipc) estimate's
+    /// mean-of-ratios).
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(index: u64, insts: u64, cycles: u64, hits: u64, misses: u64) -> IntervalSample {
+        IntervalSample {
+            index,
+            start_record: index * 1000,
+            insts,
+            cycles,
+            accesses: hits + misses,
+            hits,
+            misses,
+            offchip_bytes: misses * 64,
+        }
+    }
+
+    #[test]
+    fn sample_rates() {
+        let s = sample(0, 2000, 4000, 30, 10);
+        assert_eq!(s.ipc(), 0.5);
+        assert_eq!(s.mpki(), 20.0);
+        assert_eq!(s.hit_ratio(), 0.75);
+        assert_eq!(s.offchip_bytes_per_inst(), 640.0 / 2000.0);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let z = IntervalSample {
+            index: 0,
+            start_record: 0,
+            insts: 0,
+            cycles: 0,
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            offchip_bytes: 0,
+        };
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.mpki(), 0.0);
+        assert_eq!(z.hit_ratio(), 0.0);
+        assert_eq!(z.offchip_bytes_per_inst(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_sums_and_estimates() {
+        let plan = SamplePlan::exhaustive(1000, 100, 100);
+        let report = SampledReport::aggregate(
+            plan,
+            10_000,
+            10_000,
+            2_000,
+            vec![
+                sample(0, 1000, 2000, 30, 10),
+                sample(1, 1000, 2500, 28, 12),
+                sample(2, 1000, 2000, 30, 10),
+            ],
+        );
+        assert_eq!(report.insts, 3000);
+        assert_eq!(report.cycles, 6500);
+        assert_eq!(report.measured_records, 300);
+        assert!((report.measured_fraction() - 0.03).abs() < 1e-12);
+        assert_eq!(report.replayed_fraction(), 1.0);
+        assert_eq!(report.ipc.n, 3);
+        assert!(report.ipc.mean > 0.0 && report.ipc.ci_half.is_finite());
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn empty_runs_are_rejected() {
+        let plan = SamplePlan::exhaustive(1000, 100, 100);
+        SampledReport::aggregate(plan, 0, 0, 0, Vec::new());
+    }
+
+    #[test]
+    fn stratified_aggregation_uses_round_robin() {
+        let plan = SamplePlan::exhaustive(1000, 100, 100).with_strata(2);
+        // Alternating fast/slow intervals: stratified CI collapses.
+        let intervals: Vec<IntervalSample> = (0..8)
+            .map(|k| {
+                if k % 2 == 0 {
+                    sample(k, 1000, 1000, 40, 0)
+                } else {
+                    sample(k, 1000, 2000, 20, 20)
+                }
+            })
+            .collect();
+        let strat = SampledReport::aggregate(plan, 8_000, 8_000, 1_600, intervals.clone());
+        let plain = SampledReport::aggregate(plan.with_strata(1), 8_000, 8_000, 1_600, intervals);
+        assert!((strat.ipc.mean - plain.ipc.mean).abs() < 1e-12);
+        assert!(strat.ipc.ci_half < plain.ipc.ci_half / 10.0);
+    }
+}

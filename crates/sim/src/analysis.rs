@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use fc_trace::TraceRecord;
-use fc_types::PageGeometry;
+use fc_types::{FnvBuildHasher, PageGeometry};
 
 /// Points of Figure 12: for each requested coverage fraction, the ideal
 /// cache size in MB needed to capture that fraction of accesses with
@@ -22,7 +22,10 @@ pub fn coverage_curve<I: IntoIterator<Item = TraceRecord>>(
     fractions: &[f64],
 ) -> Vec<(f64, f64)> {
     let geom = PageGeometry::new(page_size);
-    let mut counts: HashMap<u64, u64> = HashMap::new();
+    // FNV-keyed: this map is hit once per record, and page numbers come
+    // from the simulation itself, so the cheap non-DoS-resistant hash
+    // is the right trade.
+    let mut counts: HashMap<u64, u64, FnvBuildHasher> = HashMap::default();
     let mut total: u64 = 0;
     for r in records {
         *counts.entry(geom.page_of(r.addr).raw()).or_default() += 1;
@@ -58,7 +61,7 @@ pub fn page_density<I: IntoIterator<Item = TraceRecord>>(
     page_size: usize,
 ) -> fc_cache::DensityHistogram {
     let geom = PageGeometry::new(page_size);
-    let mut touched: HashMap<u64, u64> = HashMap::new();
+    let mut touched: HashMap<u64, u64, FnvBuildHasher> = HashMap::default();
     for r in records {
         let page = geom.page_of(r.addr).raw();
         let offset = geom.block_offset(r.addr);

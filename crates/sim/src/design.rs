@@ -570,6 +570,24 @@ impl DesignSpec {
         }
     }
 
+    /// How much functional warming this design's state needs relative
+    /// to a plain page-organized cache of equal capacity — the sampled
+    /// simulator scales its capacity-proportional warm windows by this
+    /// factor. Designs whose metadata carries history beyond the tag
+    /// array remember longer: Footprint Cache's predictor (FHT +
+    /// singleton table) roughly doubles the horizon, and Banshee's
+    /// frequency counters accumulate over several cache turnovers.
+    /// Designs with no stacked state at all (baseline, ideal) return 0:
+    /// only the shared L2 needs warming.
+    pub fn warm_scale(&self) -> u64 {
+        match &self.cache {
+            CacheSpec::None | CacheSpec::Ideal => 0,
+            CacheSpec::Footprint { .. } => 2,
+            CacheSpec::Banshee { .. } => 6,
+            _ => 1,
+        }
+    }
+
     /// Instantiates the design's cache model and DRAM systems.
     pub fn build(&self) -> MemorySystem {
         let cache: Box<dyn fc_cache::DramCacheModel + Send> = match self.cache {

@@ -58,7 +58,9 @@ pub use design::{CacheSpec, DesignSpec, DramPreset, DramSpec};
 pub use engine::Simulation;
 pub use memsys::MemorySystem;
 pub use registry::{design_family, resolve_designs, DesignFamily, DESIGN_FAMILIES};
-pub use report::{consolidation, ConsolidationReport, CorePerf, EnergyReport, SimReport};
+pub use report::{
+    consolidation, ConsolidationReport, CorePerf, EnergyReport, ReportSnapshot, SimReport,
+};
 
 // Scenario mixes are described in `fc_trace` (they are workload data);
 // re-exported here because the registry/JSON layer is where sweep

@@ -128,6 +128,21 @@ impl MemorySystem {
         ready
     }
 
+    /// Functional-warmup demand access: the cache design applies its
+    /// full state transition (tags, replacement, predictor, counters)
+    /// but no DRAM operation is timed — channels, queues and energy are
+    /// untouched. Used by sampled simulation to fast-forward between
+    /// detailed intervals while keeping every capacity structure warm.
+    pub fn warm_access(&mut self, req: MemAccess) {
+        self.cache.warm_access(req);
+    }
+
+    /// Functional-warmup counterpart of [`writeback`](Self::writeback):
+    /// dirty state moves, no DRAM timing happens.
+    pub fn warm_writeback(&mut self, addr: PhysAddr) {
+        self.cache.warm_writeback(addr);
+    }
+
     /// An L2 dirty-victim writeback arriving at cycle `at` (never stalls
     /// the core; charged to banks/energy only — but it does occupy an
     /// outstanding-window entry, so writeback bursts apply backpressure

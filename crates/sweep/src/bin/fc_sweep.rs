@@ -16,36 +16,79 @@ use fc_sim::loaded::LoadedConfig;
 use fc_sim::registry::{resolve_designs, DESIGN_FAMILIES};
 use fc_sim::{resolve_scenarios, ScenarioSpec, SimConfig, SCENARIO_FAMILIES};
 use fc_sweep::{
-    emit, DesignSpec, LoadedGrid, MixGrid, RunScale, SweepEngine, SweepResult, SweepSpec,
-    WorkloadKind,
+    emit, run_sampled_grid, DesignSpec, LoadedGrid, MixGrid, RunScale, SamplePlan, SampledGrid,
+    SweepEngine, SweepResult, SweepSpec, WorkloadKind,
 };
 
 const USAGE: &str = "\
 usage: fc_sweep [options]
-  --grid NAME        preset grid: fig4 | fig5 | fig67 | designspace | loaded
-                     | mix (default fig4; `loaded` sweeps latency vs
-                     injected bandwidth, `mix` sweeps consolidation
-                     scenarios with per-core workloads)
+  --grid NAME        preset grid (see --list-grids): fig4 | fig5 | fig67
+                     | designspace | loaded | mix | sampled (default
+                     fig4; `sampled` is the designspace grid run through
+                     the interval sampler at the long-trace scale)
   --designs LIST     comma list of design families from the registry
                      (see --list-designs); overrides the preset's designs
   --capacities LIST  comma list of MB values (default 64,128,256,512)
   --workloads LIST   comma list of workload names (default: all six)
   --scenarios LIST   comma list of scenario families for --grid mix
                      (see --list-scenarios; default: all of them)
-  --scale NAME       quick | full | tiny (default quick)
+  --scale NAME       quick | full | tiny | long (default quick; `long`
+                     is the long-trace scale sampling exists for)
   --threads N        worker threads (default: all cores)
   --seed N           base seed (default 42)
+  --sampled          run the trace-replay grid through the fc-sample
+                     interval sampler (auto per-point plans: functional
+                     warmup windows scaled to each design's capacity and
+                     state memory) instead of full detailed replay
+  --sample-period N  override the sampling period (records per measured
+                     interval); implies --sampled. The other plan knobs
+                     derive from the period (interval = period/8, detail
+                     warmup = interval/2, rest functional, no skip)
+  --sample-strata N  round-robin strata for the estimates (default 1)
   --speedup          rerun the grid sequentially, report speedup, verify
                      the parallel and sequential results are identical
   --json PATH        write results as JSON
   --csv PATH         write results as CSV
-  --bench PATH       write a benchmark summary (per-design points/sec,
-                     speedup) as JSON, e.g. BENCH_designspace.json
+  --bench PATH       write a benchmark summary as JSON, e.g.
+                     BENCH_designspace.json (with --sampled: also runs
+                     the full grid and writes the speedup-vs-error
+                     report, e.g. BENCH_sample.json)
   --list             print the grid points and exit
+  --list-grids       print the grid catalogue and exit
   --list-designs     print the design-family catalogue and exit
   --list-scenarios   print the scenario-family catalogue and exit
   --quiet            suppress per-point progress lines
   --help             this text";
+
+/// The grid catalogue (`--list-grids`): every preset the CLI knows.
+const GRIDS: [(&str, &str); 7] = [
+    (
+        "fig4",
+        "page access density across capacities (page-based cache)",
+    ),
+    (
+        "fig5",
+        "miss ratio + off-chip traffic: baseline/page/footprint/block",
+    ),
+    ("fig67", "performance improvement incl. the ideal bound"),
+    ("designspace", "every design family in the registry"),
+    (
+        "loaded",
+        "latency vs injected bandwidth per design (queued engine)",
+    ),
+    ("mix", "consolidation scenarios with per-core workloads"),
+    (
+        "sampled",
+        "designspace through the interval sampler (long-trace scale)",
+    ),
+];
+
+fn print_grid_catalogue() {
+    println!("{:<12} summary", "grid");
+    for (name, summary) in GRIDS {
+        println!("{name:<12} {summary}");
+    }
+}
 
 fn fail(msg: &str) -> ! {
     eprintln!("fc_sweep: {msg}\n{USAGE}");
@@ -86,11 +129,13 @@ fn preset_designs(grid: &str, capacities: &[u64]) -> Vec<DesignSpec> {
         // Figures 6/7: performance improvement incl. the ideal bound.
         "fig67" => parse_designs("baseline,ideal,block,page,footprint", capacities),
         // The whole registry: every family the reproduction knows.
-        "designspace" => {
+        "designspace" | "sampled" => {
             let names: Vec<&str> = DESIGN_FAMILIES.iter().map(|f| f.name).collect();
             parse_designs(&names.join(","), capacities)
         }
-        other => fail(&format!("unknown grid `{other}`")),
+        other => fail(&format!(
+            "unknown grid `{other}` (run --list-grids for the catalogue)"
+        )),
     }
 }
 
@@ -392,21 +437,205 @@ fn run_mix_grid(
     }
 }
 
+/// Runs a trace-replay spec through the interval sampler
+/// (`--sampled` / `--grid sampled`): auto or period-derived plans,
+/// estimate table with confidence intervals, sampled emitters, and —
+/// with `--bench` — the full-grid twin run and the speedup-vs-error
+/// report (`BENCH_sample.json`).
+#[allow(clippy::too_many_arguments)]
+fn run_sampled_mode(
+    spec: &SweepSpec,
+    grid_name: &str,
+    sample_period: Option<u64>,
+    sample_strata: u32,
+    threads: Option<usize>,
+    speedup: bool,
+    json_path: &Option<String>,
+    csv_path: &Option<String>,
+    bench_path: &Option<String>,
+    list_only: bool,
+    quiet: bool,
+) {
+    let grid = match sample_period {
+        Some(period) => {
+            if period == 0 {
+                fail("--sample-period must be at least 1 record");
+            }
+            if let Some(short) = spec.points().iter().find(|p| p.measured() < period) {
+                fail(&format!(
+                    "--sample-period {period} exceeds the measured region \
+                     ({} records) of {}; no interval would be measured",
+                    short.measured(),
+                    short.label()
+                ));
+            }
+            let interval = (period / 8).max(1);
+            let detail_warmup = (interval / 2).min(period - interval);
+            SampledGrid::with_plan(
+                spec,
+                SamplePlan::exhaustive(period, detail_warmup, interval),
+            )
+        }
+        None => SampledGrid::auto(spec),
+    }
+    .with_strata(sample_strata);
+
+    if list_only {
+        for sp in grid.points() {
+            println!(
+                "{}  (plan: period {} = skip {} + functional {} + detailed {} + measured {}, \
+                 warmup window {})",
+                sp.label(),
+                sp.plan.period,
+                sp.plan.skip(),
+                sp.plan.functional_warmup,
+                sp.plan.detail_warmup,
+                sp.plan.interval,
+                if sp.plan.warmup_window == u64::MAX {
+                    "all".to_string()
+                } else {
+                    sp.plan.warmup_window.to_string()
+                },
+            );
+        }
+        eprintln!("[fc_sweep] {} sampled points", grid.len());
+        return;
+    }
+
+    // The fast path skips by slice arithmetic: make sure the shared
+    // trace cache can hold the grid's longest run (capped so a huge
+    // grid cannot ask for unbounded memory — longer runs stream).
+    let budget = grid
+        .max_records()
+        .min(20_000_000)
+        .max(fc_sweep::TraceCache::DEFAULT_BUDGET as u64) as usize;
+    let mut engine = SweepEngine::new().with_trace_budget(budget);
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+    if quiet {
+        engine = engine.quiet();
+    }
+    let workers = engine.threads();
+    eprintln!(
+        "[fc_sweep] grid {grid_name} [sampled]: {} points on {} thread(s)",
+        grid.len(),
+        workers
+    );
+    // Synthesize the shared traces up front: both the sampled grid and
+    // its full detailed twin replay the same cached streams, so
+    // neither timing should be charged for the synthesis they share.
+    let started = Instant::now();
+    grid.prefetch_traces(&engine);
+    let synth_secs = started.elapsed().as_secs_f64();
+    if synth_secs > 0.01 {
+        eprintln!(
+            "[fc_sweep] synthesized {} shared trace records in {synth_secs:.2}s",
+            engine.trace_cache().records_synthesized()
+        );
+    }
+    let started = Instant::now();
+    let results = run_sampled_grid(&grid, &engine);
+    let sampled_secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[fc_sweep] {} sampled simulations in {sampled_secs:.2}s",
+        engine.sampled_store().computed(),
+    );
+
+    println!(
+        "{:<16} {:<28} {:>16} {:>18} {:>5} {:>9} {:>9}",
+        "workload", "design", "IPC (95% CI)", "hit ratio (CI)", "n", "meas %", "replay %"
+    );
+    for r in &results {
+        let rep = &r.report;
+        println!(
+            "{:<16} {:<28} {:>9.3}±{:<6.3} {:>11.4}±{:<6.4} {:>5} {:>8.2}% {:>8.1}%",
+            r.point.point.workload.to_string(),
+            r.point.point.design.label(),
+            rep.ipc.mean,
+            rep.ipc.ci_half,
+            rep.hit_ratio.mean,
+            rep.hit_ratio.ci_half,
+            rep.intervals.len(),
+            rep.measured_fraction() * 100.0,
+            rep.replayed_fraction() * 100.0,
+        );
+    }
+
+    if speedup {
+        // Fresh engine, fresh stores: a true sequential baseline.
+        let seq_engine = SweepEngine::new()
+            .with_trace_budget(budget)
+            .with_threads(1)
+            .quiet();
+        // Same shared-synthesis discipline as the parallel run, so the
+        // reported factor measures thread scaling, not trace synthesis.
+        grid.prefetch_traces(&seq_engine);
+        let started = Instant::now();
+        let seq = run_sampled_grid(&grid, &seq_engine);
+        let seq_secs = started.elapsed().as_secs_f64();
+        let identical = results
+            .iter()
+            .zip(&seq)
+            .all(|(a, b)| *a.report == *b.report);
+        println!();
+        println!(
+            "speedup: sequential {seq_secs:.2}s / parallel {sampled_secs:.2}s = {:.2}x on {} threads; results identical: {}",
+            seq_secs / sampled_secs.max(1e-9),
+            workers,
+            if identical { "yes" } else { "NO (BUG)" }
+        );
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = json_path {
+        write_file(path, &emit::to_sampled_json(&results));
+    }
+    if let Some(path) = csv_path {
+        write_file(path, &emit::to_sampled_csv(&results));
+    }
+    if let Some(path) = bench_path {
+        // The speedup-vs-error report needs the full detailed twin of
+        // every point, run through the same engine (same trace cache).
+        eprintln!(
+            "[fc_sweep] running the full detailed twin grid for {path} \
+             ({} points)",
+            spec.len()
+        );
+        let started = Instant::now();
+        let full = engine.run_spec(spec);
+        let full_secs = started.elapsed().as_secs_f64();
+        let report = emit::to_sample_bench_json(&results, &full, sampled_secs, full_secs);
+        write_file(path, &report);
+        eprintln!(
+            "[fc_sweep] full twin in {full_secs:.2}s vs sampled {sampled_secs:.2}s \
+             ({:.1}x wall)",
+            full_secs / sampled_secs.max(1e-9)
+        );
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut grid = "fig4".to_string();
     let mut designs_arg: Option<String> = None;
     let mut scenarios_arg: Option<String> = None;
-    let mut capacities: Vec<u64> = vec![64, 128, 256, 512];
+    let mut capacities: Option<Vec<u64>> = None;
     let mut workloads: Vec<WorkloadKind> = WorkloadKind::ALL.to_vec();
-    let mut scale = RunScale::quick();
+    let mut scale: Option<RunScale> = None;
     let mut threads: Option<usize> = None;
     let mut seed: u64 = SweepSpec::DEFAULT_SEED;
+    let mut sampled = false;
+    let mut sample_period: Option<u64> = None;
+    let mut sample_strata: u32 = 1;
     let mut speedup = false;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut bench_path: Option<String> = None;
     let mut list_only = false;
+    let mut list_grids = false;
     let mut list_designs = false;
     let mut list_scenarios = false;
     let mut quiet = false;
@@ -421,28 +650,48 @@ fn main() {
             "--grid" => grid = value(&mut args, "--grid"),
             "--designs" => designs_arg = Some(value(&mut args, "--designs")),
             "--capacities" => {
-                capacities = value(&mut args, "--capacities")
-                    .split(',')
-                    .map(|s| {
-                        let mb: u64 = s
-                            .trim()
-                            .parse()
-                            .unwrap_or_else(|_| fail(&format!("bad capacity `{s}`")));
-                        if mb == 0 {
-                            fail("capacities must be at least 1 MB");
-                        }
-                        mb
-                    })
-                    .collect();
+                capacities = Some(
+                    value(&mut args, "--capacities")
+                        .split(',')
+                        .map(|s| {
+                            let mb: u64 = s
+                                .trim()
+                                .parse()
+                                .unwrap_or_else(|_| fail(&format!("bad capacity `{s}`")));
+                            if mb == 0 {
+                                fail("capacities must be at least 1 MB");
+                            }
+                            mb
+                        })
+                        .collect(),
+                );
             }
             "--workloads" => workloads = parse_workloads(&value(&mut args, "--workloads")),
             "--scenarios" => scenarios_arg = Some(value(&mut args, "--scenarios")),
             "--scale" => {
-                scale = match value(&mut args, "--scale").as_str() {
+                scale = Some(match value(&mut args, "--scale").as_str() {
                     "quick" => RunScale::quick(),
                     "full" => RunScale::full(),
                     "tiny" => RunScale::tiny(),
+                    "long" => RunScale::long(),
                     other => fail(&format!("unknown scale `{other}`")),
+                })
+            }
+            "--sampled" => sampled = true,
+            "--sample-period" => {
+                sampled = true;
+                sample_period = Some(
+                    value(&mut args, "--sample-period")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --sample-period value")),
+                );
+            }
+            "--sample-strata" => {
+                sample_strata = value(&mut args, "--sample-strata")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --sample-strata value"));
+                if sample_strata == 0 {
+                    fail("--sample-strata must be at least 1");
                 }
             }
             "--threads" => {
@@ -462,6 +711,7 @@ fn main() {
             "--csv" => csv_path = Some(value(&mut args, "--csv")),
             "--bench" => bench_path = Some(value(&mut args, "--bench")),
             "--list" => list_only = true,
+            "--list-grids" => list_grids = true,
             "--list-designs" => list_designs = true,
             "--list-scenarios" => list_scenarios = true,
             "--quiet" => quiet = true,
@@ -473,6 +723,10 @@ fn main() {
         }
     }
 
+    if list_grids {
+        print_grid_catalogue();
+        return;
+    }
     if list_designs {
         print_design_catalogue();
         return;
@@ -480,6 +734,33 @@ fn main() {
     if list_scenarios {
         print_scenario_catalogue();
         return;
+    }
+
+    // `--grid sampled` is the designspace grid through the sampler at
+    // the long-trace scale, on a small capacity by default (sampling
+    // warms proportionally to capacity, so the speedup story needs
+    // trace length >> warm windows; pass --capacities to override).
+    if grid == "sampled" {
+        sampled = true;
+    }
+    let sampled_preset = grid == "sampled";
+    let scale = scale.unwrap_or_else(|| {
+        if sampled_preset {
+            RunScale::long()
+        } else {
+            RunScale::quick()
+        }
+    });
+    let capacities = capacities.unwrap_or_else(|| {
+        if sampled_preset {
+            vec![8]
+        } else {
+            vec![64, 128, 256, 512]
+        }
+    });
+
+    if sampled && (grid == "mix" || grid == "loaded") {
+        fail("--sampled applies to trace-replay grids (fig4/fig5/fig67/designspace/sampled)");
     }
 
     if grid == "mix" {
@@ -528,6 +809,23 @@ fn main() {
         .with_seed(seed)
         .grid(&workloads, &designs)
         .dedup();
+
+    if sampled {
+        run_sampled_mode(
+            &spec,
+            &grid,
+            sample_period,
+            sample_strata,
+            threads,
+            speedup,
+            &json_path,
+            &csv_path,
+            &bench_path,
+            list_only,
+            quiet,
+        );
+        return;
+    }
 
     if list_only {
         for p in spec.points() {

@@ -536,6 +536,220 @@ pub fn to_mix_bench_json(results: &[crate::MixResult], wall_secs: f64) -> String
     )
 }
 
+/// Renders an [`Estimate`](crate::Estimate) as a JSON object.
+fn estimate_json(e: &crate::Estimate) -> String {
+    format!(
+        "{{\"mean\": {}, \"stddev\": {}, \"ci_half\": {}, \"n\": {}}}",
+        json_num(e.mean),
+        json_num(e.stddev),
+        json_num(e.ci_half),
+        e.n
+    )
+}
+
+/// Renders sampled results as a JSON array: one object per point with
+/// the plan, the per-metric estimates (mean, stddev, 95% CI
+/// half-width, interval count), and the measured/replayed fractions.
+pub fn to_sampled_json(results: &[crate::SampledResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let p = &r.point.point;
+        let rep = &r.report;
+        let plan = &rep.plan;
+        out.push_str(&format!(
+            "  {{\"workload\": \"{workload}\", \"design\": \"{design}\", \
+             \"capacity_mb\": {mb}, \"seed\": {seed}, \
+             \"warmup_records\": {warmup}, \"measured_records_total\": {measured}, \
+             \"key\": \"{key:016x}\", \
+             \"plan\": {{\"period\": {period}, \"functional_warmup\": {func}, \
+             \"detail_warmup\": {dw}, \"interval\": {interval}, \
+             \"warmup_window\": {window}, \"strata\": {strata}}}, \
+             \"intervals\": {n}, \"measured_records\": {meas}, \
+             \"replayed_records\": {replayed}, \"detailed_records\": {detailed}, \
+             \"measured_fraction\": {mfrac}, \"replayed_fraction\": {rfrac}, \
+             \"insts\": {insts}, \"cycles\": {cycles}, \
+             \"ipc\": {ipc}, \"mpki\": {mpki}, \"hit_ratio\": {hit}, \
+             \"offchip_bytes_per_inst\": {obpi}}}{comma}\n",
+            workload = json_escape(&p.workload.to_string()),
+            design = json_escape(&p.design.label()),
+            mb = p.capacity_mb(),
+            seed = p.seed(),
+            warmup = p.warmup(),
+            measured = p.measured(),
+            key = r.point.key().hash64(),
+            period = plan.period,
+            func = plan.functional_warmup,
+            dw = plan.detail_warmup,
+            interval = plan.interval,
+            // u64::MAX means "replay the whole warmup"; the sentinel
+            // exceeds double precision, so standard JSON readers would
+            // silently corrupt it — emit null instead.
+            window = if plan.warmup_window == u64::MAX {
+                "null".to_string()
+            } else {
+                plan.warmup_window.to_string()
+            },
+            strata = plan.strata,
+            n = rep.intervals.len(),
+            meas = rep.measured_records,
+            replayed = rep.replayed_records,
+            detailed = rep.detailed_records,
+            mfrac = json_num(rep.measured_fraction()),
+            rfrac = json_num(rep.replayed_fraction()),
+            insts = rep.insts,
+            cycles = rep.cycles,
+            ipc = estimate_json(&rep.ipc),
+            mpki = estimate_json(&rep.mpki),
+            hit = estimate_json(&rep.hit_ratio),
+            obpi = estimate_json(&rep.offchip_bytes_per_inst),
+            comma = if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders sampled results as CSV with a header row (point estimates
+/// and CI half-widths per metric, plus the work fractions).
+pub fn to_sampled_csv(results: &[crate::SampledResult]) -> String {
+    let mut out = String::from(
+        "workload,design,capacity_mb,seed,intervals,period,interval_records,\
+         measured_fraction,replayed_fraction,\
+         ipc,ipc_ci,mpki,mpki_ci,hit_ratio,hit_ratio_ci,\
+         offchip_bytes_per_inst,offchip_bytes_per_inst_ci\n",
+    );
+    for r in results {
+        let p = &r.point.point;
+        let rep = &r.report;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+            csv_escape(&p.workload.to_string()),
+            csv_escape(&p.design.label()),
+            p.capacity_mb(),
+            p.seed(),
+            rep.intervals.len(),
+            rep.plan.period,
+            rep.plan.interval,
+            rep.measured_fraction(),
+            rep.replayed_fraction(),
+            rep.ipc.mean,
+            rep.ipc.ci_half,
+            rep.mpki.mean,
+            rep.mpki.ci_half,
+            rep.hit_ratio.mean,
+            rep.hit_ratio.ci_half,
+            rep.offchip_bytes_per_inst.mean,
+            rep.offchip_bytes_per_inst.ci_half,
+        ));
+    }
+    out
+}
+
+/// Renders the speedup-vs-error benchmark for a sampled grid run next
+/// to its full detailed twin: per point, the full-run IPC, the sampled
+/// estimate with its CI, the relative error, whether the full value
+/// fell inside the CI, and the wall-clock speedup; plus grid-level
+/// aggregates (total/geomean speedup, worst error, CI coverage). CI
+/// emits this as `BENCH_sample.json` next to the other bench
+/// artifacts.
+///
+/// # Panics
+///
+/// Panics if `sampled` and `full` differ in length or point order —
+/// they must come from the same spec.
+pub fn to_sample_bench_json(
+    sampled: &[crate::SampledResult],
+    full: &[SweepResult],
+    sampled_wall_secs: f64,
+    full_wall_secs: f64,
+) -> String {
+    assert_eq!(
+        sampled.len(),
+        full.len(),
+        "sampled and full result sets must cover the same spec"
+    );
+    let mut rows = String::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut worst_err: f64 = 0.0;
+    let mut covered = 0usize;
+    let mut full_secs_total = 0.0;
+    let mut sampled_secs_total = 0.0;
+    for (i, (s, f)) in sampled.iter().zip(full).enumerate() {
+        assert_eq!(s.point.point, f.point, "point order mismatch");
+        let full_ipc = f.report.throughput();
+        let est = &s.report.ipc;
+        let rel_err = if full_ipc != 0.0 {
+            (est.mean - full_ipc) / full_ipc
+        } else {
+            0.0
+        };
+        let within_ci = est.contains(full_ipc);
+        let speedup = if s.sim_secs > 0.0 {
+            f.sim_secs / s.sim_secs
+        } else {
+            0.0
+        };
+        if speedup > 0.0 {
+            speedups.push(speedup);
+        }
+        worst_err = worst_err.max(rel_err.abs());
+        covered += usize::from(within_ci);
+        full_secs_total += f.sim_secs;
+        sampled_secs_total += s.sim_secs;
+        rows.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"design\": \"{}\", \
+             \"full_ipc\": {}, \"sampled_ipc\": {}, \"ipc_ci_half\": {}, \
+             \"rel_err\": {}, \"within_ci\": {}, \
+             \"full_hit_ratio\": {}, \"sampled_hit_ratio\": {}, \
+             \"full_secs\": {}, \"sampled_secs\": {}, \"speedup\": {}, \
+             \"exhaustive\": {}, \"measured_fraction\": {}, \"replayed_fraction\": {}}}{}\n",
+            json_escape(&f.point.workload.to_string()),
+            json_escape(&f.point.design.label()),
+            json_num(full_ipc),
+            json_num(est.mean),
+            json_num(est.ci_half),
+            json_num(rel_err),
+            within_ci,
+            json_num(f.report.cache.hit_ratio()),
+            json_num(s.report.hit_ratio.mean),
+            json_num(f.sim_secs),
+            json_num(s.sim_secs),
+            json_num(speedup),
+            s.report.plan.skip() == 0,
+            json_num(s.report.measured_fraction()),
+            json_num(s.report.replayed_fraction()),
+            if i + 1 == sampled.len() { "" } else { "," },
+        ));
+    }
+    let geomean = if speedups.is_empty() {
+        0.0
+    } else {
+        fc_types::geomean(&speedups)
+    };
+    let total_speedup = if sampled_secs_total > 0.0 {
+        full_secs_total / sampled_secs_total
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"grid\": \"sampled\",\n  \"points\": {},\n  \
+         \"full_wall_secs\": {},\n  \"sampled_wall_secs\": {},\n  \
+         \"full_sim_secs\": {},\n  \"sampled_sim_secs\": {},\n  \
+         \"total_speedup\": {},\n  \"geomean_speedup\": {},\n  \
+         \"max_abs_rel_err\": {},\n  \"within_ci\": {},\n  \"rows\": [\n{}  ]\n}}\n",
+        sampled.len(),
+        json_num(full_wall_secs),
+        json_num(sampled_wall_secs),
+        json_num(full_secs_total),
+        json_num(sampled_secs_total),
+        json_num(total_speedup),
+        json_num(geomean),
+        json_num(worst_err),
+        covered,
+        rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,6 +892,52 @@ mod tests {
         assert!(bench.contains("\"grid\": \"mix\""));
         assert!(bench.contains("\"geomean_weighted_speedup\""));
         assert_eq!(bench.matches("\"weighted_speedup\"").count(), 2);
+    }
+
+    #[test]
+    fn sampled_emitters_cover_every_point() {
+        use crate::{run_sampled_grid, SamplePlan, SampledGrid};
+        let spec = SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch],
+            &[DesignSpec::baseline(), DesignSpec::footprint(64)],
+        );
+        let grid = SampledGrid::with_plan(&spec, SamplePlan::exhaustive(500, 100, 100));
+        let engine = SweepEngine::new().with_threads(2).quiet();
+        let sampled = run_sampled_grid(&grid, &engine);
+        let full = engine.run_spec(&spec);
+
+        let json = to_sampled_json(&sampled);
+        assert_eq!(json.matches("\"workload\"").count(), 2);
+        assert!(json.contains("\"plan\""));
+        assert!(json.contains("\"ci_half\""));
+        assert!(json.contains("\"replayed_fraction\""));
+        assert!(json.contains("\"design\": \"Footprint 64MB\""));
+
+        let csv = to_sampled_csv(&sampled);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("ipc_ci"));
+        assert!(lines[1].contains("Baseline"));
+
+        let bench = to_sample_bench_json(&sampled, &full, 0.5, 2.0);
+        assert!(bench.contains("\"grid\": \"sampled\""));
+        assert!(bench.contains("\"total_speedup\""));
+        assert!(bench.contains("\"geomean_speedup\""));
+        assert!(bench.contains("\"max_abs_rel_err\""));
+        assert_eq!(bench.matches("\"rel_err\"").count(), 2);
+        assert!(bench.contains("\"exhaustive\": true"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same spec")]
+    fn sample_bench_rejects_mismatched_sets() {
+        use crate::{run_sampled_grid, SamplePlan, SampledGrid};
+        let spec =
+            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignSpec::baseline());
+        let grid = SampledGrid::with_plan(&spec, SamplePlan::exhaustive(500, 100, 100));
+        let engine = SweepEngine::new().with_threads(1).quiet();
+        let sampled = run_sampled_grid(&grid, &engine);
+        to_sample_bench_json(&sampled, &[], 0.1, 0.1);
     }
 
     #[test]

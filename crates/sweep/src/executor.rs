@@ -43,6 +43,7 @@ pub struct SweepResult {
 /// one spec or across specs — never re-simulates it.
 pub struct SweepEngine {
     store: Arc<ResultStore>,
+    sampled: Arc<ResultStore<fc_sample::SampledReport>>,
     traces: Arc<TraceCache>,
     threads: usize,
     verbose: bool,
@@ -63,6 +64,7 @@ impl SweepEngine {
             .unwrap_or(1);
         Self {
             store: Arc::new(ResultStore::new()),
+            sampled: Arc::new(ResultStore::new()),
             traces: Arc::new(TraceCache::default()),
             threads,
             verbose: true,
@@ -95,6 +97,12 @@ impl SweepEngine {
     /// The memoized result store.
     pub fn store(&self) -> &ResultStore {
         &self.store
+    }
+
+    /// The memoized sampled-result store (keys carry the sample plan;
+    /// see [`run_sampled_grid`](crate::run_sampled_grid)).
+    pub fn sampled_store(&self) -> &ResultStore<fc_sample::SampledReport> {
+        &self.sampled
     }
 
     /// The shared trace cache.

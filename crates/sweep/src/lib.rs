@@ -53,6 +53,7 @@ mod executor;
 pub mod loaded;
 pub mod mix;
 mod progress;
+pub mod sampled;
 mod scale;
 mod spec;
 mod store;
@@ -62,11 +63,13 @@ pub use executor::{SweepEngine, SweepResult};
 pub use loaded::{run_loaded, LoadedGrid, LoadedResult};
 pub use mix::{run_mix, MixGrid, MixPoint, MixResult};
 pub use progress::Progress;
+pub use sampled::{run_sampled_grid, SampledGrid, SampledPoint, SampledResult};
 pub use scale::RunScale;
 pub use spec::{SweepPoint, SweepSpec};
 pub use store::{PointKey, ResultStore};
 pub use trace_cache::TraceCache;
 
 // Re-exported so sweep callers can describe grids without extra deps.
+pub use fc_sample::{Estimate, SamplePlan, SampledReport};
 pub use fc_sim::{DesignSpec, ScenarioSpec, SimConfig};
 pub use fc_trace::WorkloadKind;

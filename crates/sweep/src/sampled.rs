@@ -1,0 +1,332 @@
+//! The sampled sweep: SMARTS-style interval sampling for every point
+//! of a trace-replay grid.
+//!
+//! A [`SampledPoint`] is an ordinary [`SweepPoint`] plus a
+//! [`SamplePlan`]; [`run_sampled_grid`] executes a grid of them with
+//! the same discipline as the detailed executor — self-balancing
+//! shared-cursor workers, per-point seeds that are pure functions of
+//! the point, the shared [`TraceCache`](crate::TraceCache), and
+//! memoization in the engine's sampled [`ResultStore`] (the plan is
+//! folded into the FNV key, so a point sampled under two plans never
+//! aliases). Results are bit-identical for any worker-thread count.
+//!
+//! Auto plans ([`SampledGrid::auto`]) derive each point's plan from
+//! its run sizing and its design's state memory
+//! (`DesignSpec::warm_scale`): capacity-scaled functional windows,
+//! skipping only in the long-trace regime, exhaustive warming when
+//! the trace is too short to skip safely.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use fc_sample::{run_sampled, run_sampled_stream, SamplePlan, SampledReport};
+use fc_sim::Simulation;
+use fc_trace::TraceGenerator;
+
+use crate::executor::SweepEngine;
+use crate::spec::{SweepPoint, SweepSpec};
+use crate::store::PointKey;
+
+/// One experiment in a sampled sweep: a sweep point and its plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampledPoint {
+    /// The underlying trace-replay point (workload, design, config,
+    /// scale, seed) — warmup/measured sizing and seeding are exactly
+    /// the full run's, so estimates are comparable point-for-point.
+    pub point: SweepPoint,
+    /// The sampling plan driving the two-mode execution.
+    pub plan: SamplePlan,
+}
+
+impl SampledPoint {
+    /// Pairs `point` with the auto-derived plan for its run sizing,
+    /// capacity, and design state memory.
+    pub fn auto(point: SweepPoint) -> Self {
+        let plan = SamplePlan::for_run_scaled(
+            point.warmup(),
+            point.measured(),
+            point.capacity_mb(),
+            point.design.warm_scale(),
+        );
+        Self { point, plan }
+    }
+
+    /// Human-readable label (progress lines, result emitters).
+    pub fn label(&self) -> String {
+        format!("{} [sampled]", self.point.label())
+    }
+
+    /// The canonical text encoding: the underlying point's encoding
+    /// with the plan folded in. Distinct plans never alias.
+    pub fn canonical(&self) -> String {
+        format!("sampled|{}|{:?}", self.point.canonical(), self.plan)
+    }
+
+    /// Stable memoization key for this point (sampled store).
+    pub fn key(&self) -> PointKey {
+        PointKey::from_canonical(self.canonical())
+    }
+}
+
+/// A declarative sampled grid.
+#[derive(Clone, Debug)]
+pub struct SampledGrid {
+    points: Vec<SampledPoint>,
+}
+
+impl SampledGrid {
+    /// Samples every point of `spec` under its auto-derived plan.
+    pub fn auto(spec: &SweepSpec) -> Self {
+        Self {
+            points: spec
+                .points()
+                .iter()
+                .copied()
+                .map(SampledPoint::auto)
+                .collect(),
+        }
+    }
+
+    /// Samples every point of `spec` under one explicit plan.
+    pub fn with_plan(spec: &SweepSpec, plan: SamplePlan) -> Self {
+        Self {
+            points: spec
+                .points()
+                .iter()
+                .map(|&point| SampledPoint { point, plan })
+                .collect(),
+        }
+    }
+
+    /// Applies a strata count to every point's plan (builder-style).
+    pub fn with_strata(mut self, strata: u32) -> Self {
+        for p in &mut self.points {
+            p.plan = p.plan.with_strata(strata);
+        }
+        self
+    }
+
+    /// The points, in spec order.
+    pub fn points(&self) -> &[SampledPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The longest run (warmup + measured records) in the grid — what
+    /// the trace-cache budget must hold for the fast slice path.
+    pub fn max_records(&self) -> u64 {
+        self.points
+            .iter()
+            .map(|p| p.point.warmup() + p.point.measured())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Synthesizes every point's shared trace into `engine`'s cache up
+    /// front. Call before timing a sampled run (or its full detailed
+    /// twin) so neither measurement is charged for the synthesis both
+    /// paths share; runs beyond the cache budget are skipped (they
+    /// stream instead).
+    pub fn prefetch_traces(&self, engine: &SweepEngine) {
+        for sp in &self.points {
+            let p = &sp.point;
+            let _ = engine.trace_cache().records(
+                p.workload,
+                p.config.cores,
+                p.seed(),
+                p.warmup() + p.measured(),
+            );
+        }
+    }
+}
+
+/// One finished sampled point.
+#[derive(Clone, Debug)]
+pub struct SampledResult {
+    /// The point that was run.
+    pub point: SampledPoint,
+    /// Its (possibly memoized) sampled report.
+    pub report: Arc<SampledReport>,
+    /// Wall-clock seconds this worker spent obtaining the report
+    /// (near zero for memoized points). Timing only — never part of
+    /// the deterministic result.
+    pub sim_secs: f64,
+    /// Whether the report came from the sampled memo store.
+    pub memoized: bool,
+}
+
+/// Runs every point of `grid` through `engine` (in parallel when the
+/// engine has >1 thread), returning results in grid order. Sampled
+/// reports memoize in the engine's sampled store under keys carrying
+/// the plan; traces come from the engine's shared [`TraceCache`]
+/// (slice path, free skips) with a streaming fallback for runs beyond
+/// the cache budget. Bit-identical for any thread count — the two
+/// trace paths replay identical record sequences.
+pub fn run_sampled_grid(grid: &SampledGrid, engine: &SweepEngine) -> Vec<SampledResult> {
+    let points = grid.points();
+    let slots: Vec<OnceLock<(Arc<SampledReport>, f64, bool)>> =
+        points.iter().map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let run_point = |index: usize| {
+        let sp = &points[index];
+        let key = sp.key();
+        let memoized = engine.sampled_store().get(&key).is_some();
+        let started = std::time::Instant::now();
+        let report = engine.sampled_store().get_or_compute(&key, || {
+            let p = &sp.point;
+            let (warmup, measured) = (p.warmup(), p.measured());
+            let mut sim = Simulation::new(p.config, p.design);
+            match engine.trace_cache().records(
+                p.workload,
+                p.config.cores,
+                p.seed(),
+                warmup + measured,
+            ) {
+                Some(records) => run_sampled(&mut sim, &records, warmup, measured, &sp.plan),
+                None => run_sampled_stream(
+                    &mut sim,
+                    TraceGenerator::new(p.workload, p.config.cores, p.seed()),
+                    warmup,
+                    measured,
+                    &sp.plan,
+                ),
+            }
+        });
+        (report, started.elapsed().as_secs_f64(), memoized)
+    };
+
+    let workers = engine.threads().clamp(1, points.len().max(1));
+    if workers == 1 {
+        for (index, slot) in slots.iter().enumerate() {
+            slot.set(run_point(index)).expect("slot written once");
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= points.len() {
+                        break;
+                    }
+                    slots[index]
+                        .set(run_point(index))
+                        .expect("slot written once");
+                });
+            }
+        });
+    }
+
+    points
+        .iter()
+        .zip(slots)
+        .map(|(point, slot)| {
+            let (report, sim_secs, memoized) = slot.into_inner().expect("every point ran");
+            SampledResult {
+                point: *point,
+                report,
+                sim_secs,
+                memoized,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::RunScale;
+    use crate::DesignSpec;
+    use fc_trace::WorkloadKind;
+
+    fn tiny_grid() -> SampledGrid {
+        let spec = SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch, WorkloadKind::DataServing],
+            &[DesignSpec::baseline(), DesignSpec::footprint(64)],
+        );
+        SampledGrid::with_plan(&spec, SamplePlan::exhaustive(500, 100, 100))
+    }
+
+    #[test]
+    fn sampled_grid_covers_spec_in_order() {
+        let grid = tiny_grid();
+        let results = run_sampled_grid(&grid, &SweepEngine::new().with_threads(2).quiet());
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.report.intervals.len(), 4, "2000 measured / 500 period");
+            assert!(r.report.insts > 0);
+            assert!(r.report.ipc.mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn sampled_grid_is_thread_count_independent() {
+        let grid = tiny_grid();
+        let seq = run_sampled_grid(&grid, &SweepEngine::new().with_threads(1).quiet());
+        let par = run_sampled_grid(&grid, &SweepEngine::new().with_threads(4).quiet());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(*a.report, *b.report, "{} diverged", a.point.label());
+        }
+    }
+
+    #[test]
+    fn sampled_points_are_memoized_separately_per_plan() {
+        let spec =
+            SweepSpec::new(RunScale::tiny()).point(WorkloadKind::WebSearch, DesignSpec::baseline());
+        let a = SampledGrid::with_plan(&spec, SamplePlan::exhaustive(500, 100, 100));
+        let b = SampledGrid::with_plan(&spec, SamplePlan::exhaustive(1_000, 100, 100));
+        let engine = SweepEngine::new().with_threads(1).quiet();
+        let ra = run_sampled_grid(&a, &engine);
+        assert_eq!(engine.sampled_store().computed(), 1);
+        let ra2 = run_sampled_grid(&a, &engine);
+        assert_eq!(engine.sampled_store().computed(), 1, "same plan memoizes");
+        assert!(Arc::ptr_eq(&ra[0].report, &ra2[0].report));
+        assert!(ra2[0].memoized);
+        let rb = run_sampled_grid(&b, &engine);
+        assert_eq!(engine.sampled_store().computed(), 2, "new plan, new key");
+        assert_ne!(ra[0].report.plan, rb[0].report.plan);
+    }
+
+    #[test]
+    fn streaming_fallback_is_bit_identical() {
+        let grid = tiny_grid();
+        let cached = run_sampled_grid(&grid, &SweepEngine::new().with_threads(2).quiet());
+        let streamed = run_sampled_grid(
+            &grid,
+            &SweepEngine::new()
+                .with_threads(2)
+                .with_trace_budget(0)
+                .quiet(),
+        );
+        for (a, b) in cached.iter().zip(&streamed) {
+            assert_eq!(*a.report, *b.report, "{}", a.point.label());
+        }
+    }
+
+    #[test]
+    fn auto_grid_derives_plans_per_point() {
+        let spec = SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch],
+            &[DesignSpec::baseline(), DesignSpec::banshee(64)],
+        );
+        let grid = SampledGrid::auto(&spec);
+        assert_eq!(grid.len(), 2);
+        for sp in grid.points() {
+            assert!(sp.plan.validate().is_ok());
+            // Tiny runs are far below the warm windows: every auto plan
+            // must have fallen back to exhaustive warming.
+            assert_eq!(sp.plan.skip(), 0);
+        }
+        assert_eq!(grid.max_records(), 4_000);
+    }
+}

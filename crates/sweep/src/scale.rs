@@ -55,6 +55,21 @@ impl RunScale {
         }
     }
 
+    /// The long-trace scale sampled simulation exists for: traces many
+    /// times longer than the capacity-scaled warm windows, so the
+    /// sampled executor's fixed warming cost amortizes and full
+    /// detailed replay is what actually hurts. `fc_sweep --grid
+    /// sampled` defaults to this scale; running it *unsampled* is the
+    /// honest speedup baseline.
+    pub fn long() -> Self {
+        Self {
+            warmup_base: 200_000,
+            warmup_per_mb: 25_000,
+            measured_base: 2_000_000,
+            measured_per_mb: 250_000,
+        }
+    }
+
     /// A minimal scale for unit tests: fixed-size runs, no capacity
     /// scaling — large enough to exercise every pipeline stage, small
     /// enough to run whole grids in milliseconds.

@@ -18,13 +18,10 @@ pub struct PointKey {
 impl PointKey {
     /// Builds the key for a canonical point encoding.
     pub fn from_canonical(canonical: String) -> Self {
-        // FNV-1a: stable across runs, platforms and Rust versions
-        // (unlike `DefaultHasher`, which documents no such guarantee).
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in canonical.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        // The workspace-wide FNV-1a: stable across runs, platforms and
+        // Rust versions (unlike `DefaultHasher`, which documents no
+        // such guarantee).
+        let hash = fc_types::fnv1a(canonical.as_bytes());
         Self { hash, canonical }
     }
 
@@ -41,8 +38,8 @@ impl PointKey {
 
 /// One key's slot: either a finished report or a gate other threads
 /// wait on while the owning thread simulates.
-enum Slot {
-    Ready(Arc<SimReport>),
+enum Slot<T> {
+    Ready(Arc<T>),
     Pending(Arc<Gate>),
 }
 
@@ -74,14 +71,14 @@ impl Gate {
 
 /// Clears a pending slot if the computing closure panics, so waiting
 /// threads retry (and recompute) instead of deadlocking.
-struct PendingGuard<'a> {
-    store: &'a ResultStore,
+struct PendingGuard<'a, T> {
+    store: &'a ResultStore<T>,
     key: &'a PointKey,
     gate: &'a Arc<Gate>,
     completed: bool,
 }
 
-impl Drop for PendingGuard<'_> {
+impl<T> Drop for PendingGuard<'_, T> {
     fn drop(&mut self) {
         if !self.completed {
             let mut shard = self.store.shard(self.key).lock().expect("store shard");
@@ -92,23 +89,25 @@ impl Drop for PendingGuard<'_> {
     }
 }
 
-/// A sharded, concurrent, memoized map from [`PointKey`] to
-/// [`SimReport`]: each point is computed at most once per store, and
-/// concurrent requests for the same in-flight point block until the
-/// owner finishes rather than duplicating the simulation.
-pub struct ResultStore {
-    shards: Vec<Mutex<HashMap<PointKey, Slot>>>,
+/// A sharded, concurrent, memoized map from [`PointKey`] to a result
+/// value (a [`SimReport`] for trace-replay grids, an
+/// `fc_sample::SampledReport` for sampled grids): each point is
+/// computed at most once per store, and concurrent requests for the
+/// same in-flight point block until the owner finishes rather than
+/// duplicating the simulation.
+pub struct ResultStore<T = SimReport> {
+    shards: Vec<Mutex<HashMap<PointKey, Slot<T>>>>,
     computed: AtomicU64,
     memo_hits: AtomicU64,
 }
 
-impl Default for ResultStore {
+impl<T> Default for ResultStore<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl ResultStore {
+impl<T> ResultStore<T> {
     /// Shards in the store: enough that a full pod's worth of worker
     /// threads rarely contend on one lock.
     const SHARDS: usize = 16;
@@ -124,12 +123,12 @@ impl ResultStore {
         }
     }
 
-    fn shard(&self, key: &PointKey) -> &Mutex<HashMap<PointKey, Slot>> {
+    fn shard(&self, key: &PointKey) -> &Mutex<HashMap<PointKey, Slot<T>>> {
         &self.shards[(key.hash64() as usize) % self.shards.len()]
     }
 
     /// The report for `key` if already computed.
-    pub fn get(&self, key: &PointKey) -> Option<Arc<SimReport>> {
+    pub fn get(&self, key: &PointKey) -> Option<Arc<T>> {
         let shard = self.shard(key).lock().expect("store shard");
         match shard.get(key) {
             Some(Slot::Ready(report)) => Some(Arc::clone(report)),
@@ -140,11 +139,7 @@ impl ResultStore {
     /// Returns the memoized report for `key`, running `compute` first if
     /// this is the key's first request. Concurrent callers of the same
     /// key wait for the single in-flight computation.
-    pub fn get_or_compute<F: FnOnce() -> SimReport>(
-        &self,
-        key: &PointKey,
-        compute: F,
-    ) -> Arc<SimReport> {
+    pub fn get_or_compute<F: FnOnce() -> T>(&self, key: &PointKey, compute: F) -> Arc<T> {
         loop {
             let gate = {
                 let mut shard = self.shard(key).lock().expect("store shard");
@@ -271,5 +266,16 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a.hash64(), b.hash64());
         assert_eq!(a, PointKey::from_canonical("a".into()));
+    }
+
+    #[test]
+    fn stores_are_generic_over_the_result_type() {
+        // Sampled grids memoize a different value type through the same
+        // machinery.
+        let store: ResultStore<Vec<f64>> = ResultStore::new();
+        let key = PointKey::from_canonical("sampled".into());
+        let v = store.get_or_compute(&key, || vec![1.0, 2.0]);
+        assert_eq!(*v, vec![1.0, 2.0]);
+        assert_eq!(store.computed(), 1);
     }
 }

@@ -1,0 +1,93 @@
+//! FNV-1a hashing: one stable hash for the whole workspace.
+//!
+//! The sweep layer keys its memoized result store on an FNV-1a hash of
+//! each point's canonical encoding (stable across runs, platforms and
+//! Rust versions — unlike `DefaultHasher`, which documents no such
+//! guarantee), and the hot per-page count maps in `fc_sim::analysis`
+//! use the same function through [`FnvBuildHasher`] instead of paying
+//! SipHash on every trace record.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// ```
+/// assert_eq!(fc_types::fnv1a(b""), 0xcbf29ce484222325);
+/// assert_ne!(fc_types::fnv1a(b"a"), fc_types::fnv1a(b"b"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// An FNV-1a [`Hasher`] for `HashMap`s keyed by small integers or short
+/// byte strings (page numbers, block addresses): far cheaper than the
+/// default SipHash on hot counting loops, at the cost of being
+/// non-DoS-resistant — fine for simulator-internal maps whose keys come
+/// from the simulation itself.
+#[derive(Clone, Copy, Debug)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.0 ^= u64::from(*byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `HashMap`/`HashSet`:
+/// `HashMap<u64, u64, FnvBuildHasher>`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hasher_agrees_with_the_function() {
+        let mut h = FnvHasher::default();
+        h.write(b"hello world");
+        assert_eq!(h.finish(), fnv1a(b"hello world"));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut map: HashMap<u64, u64, FnvBuildHasher> = HashMap::default();
+        for i in 0..1000u64 {
+            *map.entry(i % 37).or_default() += 1;
+        }
+        assert_eq!(map.len(), 37);
+        assert_eq!(map.values().sum::<u64>(), 1000);
+    }
+}

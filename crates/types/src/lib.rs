@@ -38,6 +38,7 @@
 mod access;
 mod addr;
 mod blockstate;
+mod fnv;
 mod footprint;
 mod geometry;
 pub mod json;
@@ -46,6 +47,7 @@ mod util;
 pub use access::{AccessKind, CoreId, MemAccess};
 pub use addr::{BlockAddr, PageAddr, Pc, PhysAddr};
 pub use blockstate::{BlockState, BlockStateVec};
+pub use fnv::{fnv1a, FnvBuildHasher, FnvHasher, FNV_OFFSET, FNV_PRIME};
 pub use footprint::Footprint;
 pub use geometry::PageGeometry;
 pub use util::{geomean, mean, percentile};
