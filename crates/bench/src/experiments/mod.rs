@@ -13,6 +13,7 @@ mod fig8;
 mod fig9;
 mod loaded_latency;
 mod mix;
+mod observability;
 mod sampling;
 mod tables;
 
@@ -30,6 +31,7 @@ pub use fig8::fig8;
 pub use fig9::fig9;
 pub use loaded_latency::loaded_latency;
 pub use mix::mix;
+pub use observability::observability;
 pub use sampling::sampling;
 pub use tables::{table1, table4};
 
@@ -113,6 +115,7 @@ pub fn run_all(lab: &mut Lab) -> String {
         loaded_latency(lab),
         mix(lab),
         sampling(lab),
+        observability(lab),
         fig10(lab),
         fig11(lab),
         fig12(),

@@ -134,6 +134,84 @@ impl BoundedQueue {
     pub fn push(&mut self, done: u64) {
         self.inflight.push_back(done);
     }
+
+    /// Requests still in flight at cycle `now` (tracked completions
+    /// later than `now`). Powers the occupancy time series in
+    /// `detailed-stats` builds.
+    pub fn outstanding_at(&self, now: u64) -> usize {
+        self.inflight.iter().filter(|&&done| done > now).count()
+    }
+}
+
+/// Per-channel time series, compiled in only with `detailed-stats`.
+///
+/// Samples the row-buffer hit ratio and mean queueing delay over
+/// fixed windows of [`ChannelTimeline::WINDOW`] accesses, indexed by
+/// cumulative access count. A zero-cost no-op in default builds.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelTimeline {
+    #[cfg(feature = "detailed-stats")]
+    inner: TimelineInner,
+}
+
+#[cfg(feature = "detailed-stats")]
+#[derive(Clone, Debug, Default)]
+struct TimelineInner {
+    total: u64,
+    window_accesses: u64,
+    window_hits: u64,
+    window_delay: u64,
+    row_hit_ratio: fc_obs::TimeSeries,
+    queue_delay: fc_obs::TimeSeries,
+}
+
+impl ChannelTimeline {
+    /// Accesses per sampling window.
+    pub const WINDOW: u64 = 4096;
+
+    /// Records one access outcome.
+    #[inline]
+    pub fn record(&mut self, row_hit: bool, queue_delay: u64) {
+        #[cfg(feature = "detailed-stats")]
+        {
+            let inner = &mut self.inner;
+            inner.total += 1;
+            inner.window_accesses += 1;
+            inner.window_hits += row_hit as u64;
+            inner.window_delay += queue_delay;
+            if inner.window_accesses == Self::WINDOW {
+                let n = inner.window_accesses as f64;
+                inner
+                    .row_hit_ratio
+                    .push(inner.total, inner.window_hits as f64 / n);
+                inner
+                    .queue_delay
+                    .push(inner.total, inner.window_delay as f64 / n);
+                inner.window_accesses = 0;
+                inner.window_hits = 0;
+                inner.window_delay = 0;
+            }
+        }
+        #[cfg(not(feature = "detailed-stats"))]
+        {
+            let _ = (row_hit, queue_delay);
+        }
+    }
+
+    /// Publishes the accumulated series under
+    /// `{prefix}.row_hit_ratio` and `{prefix}.queue_delay`
+    /// (empty series — every default build — publish nothing).
+    pub fn publish(&self, prefix: &str) {
+        #[cfg(feature = "detailed-stats")]
+        {
+            fc_obs::series::publish(format!("{prefix}.row_hit_ratio"), &self.inner.row_hit_ratio);
+            fc_obs::series::publish(format!("{prefix}.queue_delay"), &self.inner.queue_delay);
+        }
+        #[cfg(not(feature = "detailed-stats"))]
+        {
+            let _ = prefix;
+        }
+    }
 }
 
 /// Counters exported by a channel.
@@ -223,6 +301,8 @@ pub struct Channel {
     /// ([`Channel::with_activate_log`]) for timing-invariant tests.
     act_log: Option<Vec<u64>>,
     stats: ChannelStats,
+    /// `detailed-stats` time series (zero-sized in default builds).
+    timeline: ChannelTimeline,
 }
 
 impl Channel {
@@ -241,6 +321,7 @@ impl Channel {
             queue: BoundedQueue::new(queue_depth),
             act_log: None,
             stats: ChannelStats::default(),
+            timeline: ChannelTimeline::default(),
         }
     }
 
@@ -319,6 +400,7 @@ impl Channel {
         self.stats.queue_hist.record(t0 - at);
 
         let row_hit = matches!(self.policy, RowPolicy::Open) && b.open_row == Some(row);
+        self.timeline.record(row_hit, t0 - at);
 
         let cas_at = if row_hit {
             self.stats.row_hits += 1;
@@ -423,6 +505,11 @@ impl Channel {
     /// The cycle at which the data bus frees up (for utilization metrics).
     pub fn bus_free_at(&self) -> u64 {
         self.bus_free_at
+    }
+
+    /// The channel's `detailed-stats` timeline (inert in default builds).
+    pub fn timeline(&self) -> &ChannelTimeline {
+        &self.timeline
     }
 }
 

@@ -44,7 +44,9 @@ mod mapping;
 mod system;
 mod timing;
 
-pub use channel::{BoundedQueue, Channel, ChannelStats, Completion, QueueDelayHist};
+pub use channel::{
+    BoundedQueue, Channel, ChannelStats, ChannelTimeline, Completion, QueueDelayHist,
+};
 pub use config::DramConfig;
 pub use energy::{EnergyBreakdown, EnergyParams};
 pub use mapping::{AddressMapping, Location};

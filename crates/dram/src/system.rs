@@ -69,6 +69,37 @@ impl DramStats {
         }
     }
 
+    /// Adds these counters into the global `fc_obs` metrics registry
+    /// under `dram.stacked.*` or `dram.offchip.*`. Called once per
+    /// simulated point (not per access), so the registry lock is off
+    /// every hot path.
+    pub fn publish_metrics(&self, stacked: bool) {
+        let names: [(&'static str, u64); 7] = if stacked {
+            [
+                ("dram.stacked.accesses", self.accesses),
+                ("dram.stacked.activates", self.activates),
+                ("dram.stacked.row_hits", self.row_hits),
+                ("dram.stacked.row_misses", self.row_misses),
+                ("dram.stacked.read_blocks", self.read_blocks),
+                ("dram.stacked.write_blocks", self.write_blocks),
+                ("dram.stacked.queue_delay_cycles", self.queue_delay_cycles),
+            ]
+        } else {
+            [
+                ("dram.offchip.accesses", self.accesses),
+                ("dram.offchip.activates", self.activates),
+                ("dram.offchip.row_hits", self.row_hits),
+                ("dram.offchip.row_misses", self.row_misses),
+                ("dram.offchip.read_blocks", self.read_blocks),
+                ("dram.offchip.write_blocks", self.write_blocks),
+                ("dram.offchip.queue_delay_cycles", self.queue_delay_cycles),
+            ]
+        };
+        for (name, value) in names {
+            fc_obs::metrics::counter(name).add(value);
+        }
+    }
+
     /// Counter deltas since an earlier snapshot of the same system
     /// (every counter is monotone, so field-wise subtraction is exact).
     /// The single diffing implementation behind `SimReport` snapshots
@@ -225,6 +256,15 @@ impl DramSystem {
     /// Number of channels.
     pub fn channel_count(&self) -> usize {
         self.channels.len()
+    }
+
+    /// Publishes each channel's `detailed-stats` timeline under
+    /// `{prefix}.ch{i}.*` (a no-op in default builds, where the
+    /// timelines are empty).
+    pub fn publish_timelines(&self, prefix: &str) {
+        for (i, ch) in self.channels.iter().enumerate() {
+            ch.timeline().publish(&format!("{prefix}.ch{i}"));
+        }
     }
 }
 

@@ -1,0 +1,188 @@
+//! Per-interval time series, gated on the `detailed-stats` feature.
+//!
+//! With the feature **off** (the default), [`TimeSeries`] is a
+//! zero-sized struct whose methods are inlined no-ops, so the
+//! instrumentation points in `fc_dram::channel` and `fc_sim::memsys`
+//! cost nothing — the workspace test suite asserts
+//! `size_of::<TimeSeries>() == 0` and bit-identical `SimReport`s.
+//! With the feature **on**, each series accumulates `(tick, value)`
+//! samples and publishes them into a process-global map that
+//! `fc_sweep --metrics-out` folds into the metrics JSON.
+//!
+//! Callers gate the `format!`-built series names behind
+//! [`enabled`] (a `const fn`), so name construction is
+//! branch-eliminated in default builds.
+
+use crate::{json_escape, json_num};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Whether `detailed-stats` time series are compiled in.
+pub const fn enabled() -> bool {
+    cfg!(feature = "detailed-stats")
+}
+
+/// A sequence of `(tick, value)` samples.
+///
+/// Zero-sized and inert without the `detailed-stats` feature.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    #[cfg(feature = "detailed-stats")]
+    samples: Vec<(u64, f64)>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> TimeSeries {
+        TimeSeries::new()
+    }
+}
+
+impl TimeSeries {
+    /// An empty series (`const`, so instrumented structs can sit in
+    /// statics).
+    pub const fn new() -> TimeSeries {
+        TimeSeries {
+            #[cfg(feature = "detailed-stats")]
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a sample. Compiles to nothing without `detailed-stats`.
+    #[inline]
+    pub fn push(&mut self, tick: u64, value: f64) {
+        #[cfg(feature = "detailed-stats")]
+        self.samples.push((tick, value));
+        #[cfg(not(feature = "detailed-stats"))]
+        {
+            let _ = (tick, value);
+        }
+    }
+
+    /// Number of samples held (always 0 without `detailed-stats`).
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "detailed-stats")]
+        {
+            self.samples.len()
+        }
+        #[cfg(not(feature = "detailed-stats"))]
+        {
+            0
+        }
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The samples as a slice (always empty without `detailed-stats`).
+    pub fn samples(&self) -> &[(u64, f64)] {
+        #[cfg(feature = "detailed-stats")]
+        {
+            &self.samples
+        }
+        #[cfg(not(feature = "detailed-stats"))]
+        {
+            &[]
+        }
+    }
+
+    /// Renders `[[tick, value], ...]`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (tick, value)) in self.samples().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{tick}, {}]", json_num(*value)));
+        }
+        out.push(']');
+        out
+    }
+}
+
+static PUBLISHED: OnceLock<Mutex<BTreeMap<String, TimeSeries>>> = OnceLock::new();
+
+fn published() -> &'static Mutex<BTreeMap<String, TimeSeries>> {
+    PUBLISHED.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Publishes a finished series under `name` (e.g.
+/// `designspace/fc-3.0/astar-like/cache.hit_ratio`). Replaces any
+/// earlier series with the same name. No-op when the series is empty
+/// (which is always the case without `detailed-stats`).
+pub fn publish(name: String, series: &TimeSeries) {
+    if series.is_empty() {
+        return;
+    }
+    published()
+        .lock()
+        .expect("series map poisoned")
+        .insert(name, series.clone());
+}
+
+/// Drains every published series.
+pub fn take_published() -> BTreeMap<String, TimeSeries> {
+    std::mem::take(&mut *published().lock().expect("series map poisoned"))
+}
+
+/// Drains and renders the published series as one JSON object
+/// (`{}` when nothing was published — the default-feature case).
+pub fn published_json() -> String {
+    let map = take_published();
+    if map.is_empty() {
+        return "{}".to_string();
+    }
+    let mut out = String::from("{");
+    for (i, (name, series)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            json_escape(name),
+            series.to_json()
+        ));
+    }
+    out.push_str("\n  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_matches_feature_gate() {
+        let mut s = TimeSeries::new();
+        s.push(0, 0.5);
+        s.push(4096, 0.75);
+        if enabled() {
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.samples()[1], (4096, 0.75));
+            assert_eq!(s.to_json(), "[[0, 0.5], [4096, 0.75]]");
+        } else {
+            assert_eq!(s.len(), 0);
+            assert!(s.samples().is_empty());
+            assert_eq!(s.to_json(), "[]");
+            assert_eq!(std::mem::size_of::<TimeSeries>(), 0);
+        }
+    }
+
+    #[test]
+    fn publish_skips_empty_series() {
+        publish("test.series.empty".to_string(), &TimeSeries::new());
+        let map = take_published();
+        assert!(!map.contains_key("test.series.empty"));
+    }
+
+    #[cfg(feature = "detailed-stats")]
+    #[test]
+    fn published_series_render() {
+        let mut s = TimeSeries::new();
+        s.push(1, 2.0);
+        publish("test.series.render".to_string(), &s);
+        let json = published_json();
+        assert!(json.contains("\"test.series.render\": [[1, 2]]"));
+    }
+}

@@ -1,0 +1,379 @@
+//! Scoped spans with Chrome trace-event export.
+//!
+//! Each thread that records spans owns a *lane*: a thread-local event
+//! buffer plus a numeric `tid` and an optional human name
+//! (`worker-3`). Recording a span touches only that buffer — no locks,
+//! no cross-thread traffic — and the buffer drains into the global
+//! sink when the thread exits (thread-local `Drop`) or when
+//! [`flush_thread`] is called explicitly. The sweep executor's scoped
+//! worker threads exit before results are collected, so a drain on the
+//! main thread sees every worker event.
+//!
+//! Tracing is off by default. [`span`] starts with one relaxed atomic
+//! load; when disabled it returns an inert guard and allocates
+//! nothing, which is what keeps the instrumented hot paths within the
+//! repo's 2% overhead budget.
+//!
+//! Timestamps are microseconds since a process-wide epoch, with both
+//! endpoints floored (`dur = floor(end) - floor(start)`) so parent
+//! spans never appear to end before their children after truncation —
+//! the nesting-validity test in `tests/observability.rs` relies on
+//! this.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// One completed span or instant, ready for Chrome-trace export.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event name (the span label, e.g. `detailed-sim`).
+    pub name: &'static str,
+    /// Category string (Chrome-trace `cat`), used to group phases.
+    pub cat: &'static str,
+    /// Optional argument rendered under `args.label`.
+    pub arg: Option<String>,
+    /// Lane (Chrome-trace `tid`) the event was recorded on.
+    pub lane: u32,
+    /// Start, in microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (zero for instants).
+    pub dur_us: u64,
+    /// `'X'` for complete spans, `'i'` for instant events.
+    pub phase: char,
+}
+
+struct Sink {
+    events: Vec<TraceEvent>,
+    /// `(lane, name)` pairs for Perfetto thread-name metadata.
+    lanes: Vec<(u32, String)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Sink> {
+    SINK.get_or_init(|| {
+        Mutex::new(Sink {
+            events: Vec::new(),
+            lanes: Vec::new(),
+        })
+    })
+}
+
+fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as u64
+}
+
+struct LaneBuf {
+    lane: u32,
+    events: Vec<TraceEvent>,
+}
+
+impl LaneBuf {
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut sink = sink().lock().expect("trace sink poisoned");
+        sink.events.append(&mut self.events);
+    }
+}
+
+impl Drop for LaneBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<Option<LaneBuf>> = const { RefCell::new(None) };
+}
+
+fn with_lane<R>(f: impl FnOnce(&mut LaneBuf) -> R) -> R {
+    BUF.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buf = slot.get_or_insert_with(|| LaneBuf {
+            lane: NEXT_LANE.fetch_add(1, Ordering::Relaxed),
+            events: Vec::new(),
+        });
+        f(buf)
+    })
+}
+
+/// Turns span recording on (also pins the trace epoch).
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns span recording off; spans already buffered are kept.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Names the calling thread's lane (Chrome-trace thread name, e.g.
+/// `worker-3`). A no-op when tracing is disabled.
+pub fn set_lane_name(name: &str) {
+    if !enabled() {
+        return;
+    }
+    let lane = with_lane(|buf| buf.lane);
+    let mut sink = sink().lock().expect("trace sink poisoned");
+    match sink.lanes.iter_mut().find(|(l, _)| *l == lane) {
+        Some((_, n)) => *n = name.to_string(),
+        None => sink.lanes.push((lane, name.to_string())),
+    }
+}
+
+/// A live span guard; records a complete event when dropped.
+///
+/// Obtained from [`span`] / [`span_with`]. Inert (no allocation, no
+/// event) when tracing was disabled at creation time.
+#[must_use = "a span measures the scope it is bound to; bind it to `_span`, not `_`"]
+pub struct Span {
+    live: Option<SpanBody>,
+}
+
+struct SpanBody {
+    name: &'static str,
+    cat: &'static str,
+    arg: Option<String>,
+    start_us: u64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(SpanBody {
+            name,
+            cat,
+            arg,
+            start_us,
+        }) = self.live.take()
+        {
+            let end_us = now_us();
+            with_lane(|buf| {
+                buf.events.push(TraceEvent {
+                    name,
+                    cat,
+                    arg,
+                    lane: buf.lane,
+                    start_us,
+                    dur_us: end_us.saturating_sub(start_us),
+                    phase: 'X',
+                });
+            });
+        }
+    }
+}
+
+/// Opens a scoped span. One atomic load and an inert guard when
+/// tracing is disabled.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    Span {
+        live: Some(SpanBody {
+            name,
+            cat,
+            arg: None,
+            start_us: now_us(),
+        }),
+    }
+}
+
+/// Opens a scoped span carrying an argument string; the closure runs
+/// only when tracing is enabled, so callers can format labels for
+/// free on the disabled path.
+#[inline]
+pub fn span_with(name: &'static str, cat: &'static str, arg: impl FnOnce() -> String) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    Span {
+        live: Some(SpanBody {
+            name,
+            cat,
+            arg: Some(arg()),
+            start_us: now_us(),
+        }),
+    }
+}
+
+/// Records an instant event (e.g. a memoization hit). The argument
+/// closure runs only when tracing is enabled.
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str, arg: impl FnOnce() -> String) {
+    if !enabled() {
+        return;
+    }
+    let ts = now_us();
+    with_lane(|buf| {
+        buf.events.push(TraceEvent {
+            name,
+            cat,
+            arg: Some(arg()),
+            lane: buf.lane,
+            start_us: ts,
+            dur_us: 0,
+            phase: 'i',
+        });
+    });
+}
+
+/// Flushes the calling thread's buffered events into the global sink.
+///
+/// Worker threads should call this as their last act: the thread-local
+/// `Drop` backstop also flushes, but `thread::scope` may observe the
+/// join *before* TLS destructors run, so an explicit flush is the only
+/// ordering a collector on the joining thread can rely on.
+pub fn flush_thread() {
+    BUF.with(|slot| {
+        if let Some(buf) = slot.borrow_mut().as_mut() {
+            buf.flush();
+        }
+    });
+}
+
+/// Drains every flushed event (sorted by start time) plus the lane
+/// name table. Flushes the calling thread first.
+pub fn take_events() -> (Vec<TraceEvent>, Vec<(u32, String)>) {
+    flush_thread();
+    let mut sink = sink().lock().expect("trace sink poisoned");
+    let mut events = std::mem::take(&mut sink.events);
+    let lanes = std::mem::take(&mut sink.lanes);
+    events.sort_by_key(|e| (e.start_us, e.lane));
+    (events, lanes)
+}
+
+/// Drains the sink and renders Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`), loadable in Perfetto or
+/// `chrome://tracing`. Lane names become `thread_name` metadata.
+pub fn chrome_trace_json() -> String {
+    let (events, lanes) = take_events();
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\": [\n");
+    let mut first = true;
+    for (lane, name) in &lanes {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {lane}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+    for e in &events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let args = match &e.arg {
+            Some(a) => format!("{{\"label\": \"{}\"}}", json_escape(a)),
+            None => "{}".to_string(),
+        };
+        match e.phase {
+            'i' => out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {}, \"pid\": 0, \"tid\": {}, \"args\": {}}}",
+                json_escape(e.name),
+                json_escape(e.cat),
+                e.start_us,
+                e.lane,
+                args
+            )),
+            _ => out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+                 \"dur\": {}, \"pid\": 0, \"tid\": {}, \"args\": {}}}",
+                json_escape(e.name),
+                json_escape(e.cat),
+                e.start_us,
+                e.dur_us,
+                e.lane,
+                args
+            )),
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global; serialize the tests that drain it.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        let _drain = take_events();
+        {
+            let _span = span("quiet", "test");
+            instant("quiet-instant", "test", || "x".to_string());
+        }
+        let (events, _) = take_events();
+        assert!(events.iter().all(|e| e.cat != "test"));
+    }
+
+    #[test]
+    fn spans_nest_and_export() {
+        let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let _drain = take_events();
+        enable();
+        set_lane_name("tester");
+        {
+            let _outer = span("outer", "test-nest");
+            let _inner = span("inner", "test-nest");
+            instant("hit", "test-nest", || "p0".to_string());
+        }
+        disable();
+        let json = chrome_trace_json();
+        assert!(json.contains("\"outer\""));
+        assert!(json.contains("\"inner\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"tester\""));
+        assert!(json.contains("\"ph\": \"i\""));
+    }
+
+    #[test]
+    fn cross_thread_lanes_are_distinct() {
+        let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let _drain = take_events();
+        enable();
+        std::thread::scope(|scope| {
+            for i in 0..2 {
+                scope.spawn(move || {
+                    set_lane_name(&format!("lane-test-{i}"));
+                    drop(span("work", "test-lanes"));
+                    flush_thread();
+                });
+            }
+        });
+        disable();
+        let (events, lanes) = take_events();
+        let work: Vec<_> = events.iter().filter(|e| e.cat == "test-lanes").collect();
+        assert_eq!(work.len(), 2);
+        assert_ne!(work[0].lane, work[1].lane);
+        assert!(lanes.iter().any(|(_, n)| n == "lane-test-0"));
+        assert!(lanes.iter().any(|(_, n)| n == "lane-test-1"));
+    }
+}

@@ -117,7 +117,10 @@ fn drive(
     // functional window.
     let window = plan.warmup_window.min(warmup);
     source.skip(warmup - window);
-    source.replay(window, &mut |r| sim.step_functional(r));
+    {
+        let _span = fc_obs::trace::span("functional-warmup", "sample");
+        source.replay(window, &mut |r| sim.step_functional(r));
+    }
     replayed += window;
 
     // Measured region: one interval per period, *centered* in its
@@ -133,8 +136,14 @@ fn drive(
     let mut intervals = Vec::with_capacity(periods as usize);
     for k in 0..periods {
         source.skip(lead);
-        source.replay(plan.functional_warmup, &mut |r| sim.step_functional(r));
-        source.replay(plan.detail_warmup, &mut |r| sim.step(r));
+        {
+            let _span = fc_obs::trace::span("functional-warmup", "sample");
+            source.replay(plan.functional_warmup, &mut |r| sim.step_functional(r));
+        }
+        {
+            let _span = fc_obs::trace::span("detailed-warmup", "sample");
+            source.replay(plan.detail_warmup, &mut |r| sim.step(r));
+        }
         // Snapshots bound the interval *without* draining: forcing the
         // MSHRs empty at the boundaries would start every interval from
         // an artificial contention-free state (inflating IPC for
@@ -142,8 +151,11 @@ fn drive(
         // in-flight work entering and leaving the interval cancels in
         // expectation.
         let snapshot = sim.snapshot();
-        source.replay(plan.interval, &mut |r| sim.step(r));
-        let delta = SimReport::since(sim, &snapshot);
+        let delta = {
+            let _span = fc_obs::trace::span("measure-interval", "sample");
+            source.replay(plan.interval, &mut |r| sim.step(r));
+            SimReport::since(sim, &snapshot)
+        };
         let start_record = warmup + k * plan.period + lead + warm;
         intervals.push(IntervalSample::from_report(k, start_record, &delta));
         replayed += warm + plan.interval;
@@ -152,6 +164,13 @@ fn drive(
     }
     // The measured tail shorter than one period is not replayed; the
     // systematic frame covers `periods * period` records.
+
+    // One registry touch per run, after the hot loops.
+    fc_obs::metrics::counter("sample.runs").inc();
+    fc_obs::metrics::counter("sample.intervals").add(periods);
+    fc_obs::metrics::counter("sample.records.replayed").add(replayed);
+    fc_obs::metrics::counter("sample.records.detailed").add(detailed);
+    fc_obs::metrics::counter("sample.records.skipped").add(warmup + measured - replayed);
 
     SampledReport::aggregate(*plan, warmup + measured, replayed, detailed, intervals)
 }

@@ -223,10 +223,15 @@ impl Simulation {
         records: I,
         since: &ReportSnapshot,
     ) -> SimReport {
+        let _span = fc_obs::trace::span("detailed-sim", "sim");
+        let mut replayed = 0u64;
         for r in records {
             self.step(&r);
+            replayed += 1;
         }
         self.drain();
+        // One registry touch per replay, not per record.
+        fc_obs::metrics::counter("sim.records.detailed").add(replayed);
         SimReport::since(self, since)
     }
 
@@ -241,11 +246,15 @@ impl Simulation {
         measured: u64,
     ) -> SimReport {
         let mut generator = TraceGenerator::new(workload, self.config.cores, seed);
-        for _ in 0..warmup {
-            let r = generator.next().expect("generator is infinite");
-            self.step(&r);
+        {
+            let _span = fc_obs::trace::span("detailed-warmup", "sim");
+            for _ in 0..warmup {
+                let r = generator.next().expect("generator is infinite");
+                self.step(&r);
+            }
+            self.drain();
+            fc_obs::metrics::counter("sim.records.warmup").add(warmup);
         }
-        self.drain();
         let snap = self.snapshot();
         let records = (&mut generator).take(measured as usize);
         self.run_records(records, &snap)
@@ -274,11 +283,15 @@ impl Simulation {
             self.config.cores
         );
         let mut generator = ScenarioGenerator::new(scenario, seed);
-        for _ in 0..warmup {
-            let r = generator.next().expect("generator is infinite");
-            self.step(&r);
+        {
+            let _span = fc_obs::trace::span("detailed-warmup", "sim");
+            for _ in 0..warmup {
+                let r = generator.next().expect("generator is infinite");
+                self.step(&r);
+            }
+            self.drain();
+            fc_obs::metrics::counter("sim.records.warmup").add(warmup);
         }
-        self.drain();
         let snap = self.snapshot();
         let records = (&mut generator).take(measured as usize);
         self.run_records(records, &snap)

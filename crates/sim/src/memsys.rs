@@ -42,12 +42,80 @@ impl RequestWindow {
     }
 }
 
+/// Per-interval memory-system time series, compiled in only with
+/// `detailed-stats`: the DRAM-cache hit ratio and the
+/// outstanding-window occupancy, sampled every
+/// [`MemsysTimeline::WINDOW`] demand accesses. A zero-cost no-op in
+/// default builds.
+#[derive(Clone, Debug, Default)]
+pub struct MemsysTimeline {
+    #[cfg(feature = "detailed-stats")]
+    inner: MemsysTimelineInner,
+}
+
+#[cfg(feature = "detailed-stats")]
+#[derive(Clone, Debug, Default)]
+struct MemsysTimelineInner {
+    total: u64,
+    last_hits: u64,
+    last_accesses: u64,
+    hit_ratio: fc_obs::TimeSeries,
+    occupancy: fc_obs::TimeSeries,
+}
+
+impl MemsysTimeline {
+    /// Demand accesses per sampling window.
+    pub const WINDOW: u64 = 1024;
+
+    /// Records one demand access; `stats` are the design's cumulative
+    /// counters and `outstanding` the window occupancy at issue time.
+    #[inline]
+    fn tick(&mut self, stats: &fc_cache::DramCacheStats, outstanding: usize) {
+        #[cfg(feature = "detailed-stats")]
+        {
+            let inner = &mut self.inner;
+            inner.total += 1;
+            if inner.total.is_multiple_of(Self::WINDOW) {
+                let accesses = stats.accesses - inner.last_accesses;
+                let hits = stats.hits - inner.last_hits;
+                if accesses > 0 {
+                    inner
+                        .hit_ratio
+                        .push(inner.total, hits as f64 / accesses as f64);
+                }
+                inner.occupancy.push(inner.total, outstanding as f64);
+                inner.last_accesses = stats.accesses;
+                inner.last_hits = stats.hits;
+            }
+        }
+        #[cfg(not(feature = "detailed-stats"))]
+        {
+            let _ = (stats, outstanding);
+        }
+    }
+
+    /// Publishes the accumulated series under `{prefix}.hit_ratio`
+    /// and `{prefix}.window_occupancy` (nothing in default builds).
+    pub fn publish(&self, prefix: &str) {
+        #[cfg(feature = "detailed-stats")]
+        {
+            fc_obs::series::publish(format!("{prefix}.hit_ratio"), &self.inner.hit_ratio);
+            fc_obs::series::publish(format!("{prefix}.window_occupancy"), &self.inner.occupancy);
+        }
+        #[cfg(not(feature = "detailed-stats"))]
+        {
+            let _ = prefix;
+        }
+    }
+}
+
 /// A complete pod memory system below the L2.
 pub struct MemorySystem {
     cache: Box<dyn DramCacheModel + Send>,
     stacked: Option<DramSystem>,
     offchip: DramSystem,
     window: RequestWindow,
+    timeline: MemsysTimeline,
 }
 
 impl MemorySystem {
@@ -68,6 +136,7 @@ impl MemorySystem {
             stacked: stacked.map(DramSystem::new),
             offchip: DramSystem::new(offchip),
             window: RequestWindow::new(Self::DEFAULT_WINDOW),
+            timeline: MemsysTimeline::default(),
         }
     }
 
@@ -125,6 +194,8 @@ impl MemorySystem {
         let start = self.window.admit(at);
         let (ready, done) = self.execute(&plan, start);
         self.window.retire(done);
+        self.timeline
+            .tick(self.cache.stats(), self.window.queue.outstanding_at(at));
         ready
     }
 
@@ -152,6 +223,20 @@ impl MemorySystem {
         let start = self.window.admit(at);
         let (_, done) = self.execute(&plan, start);
         self.window.retire(done);
+    }
+
+    /// Publishes every `detailed-stats` timeline this memory system
+    /// accumulated — its own hit-ratio/occupancy series plus each DRAM
+    /// channel's — under `{prefix}.*`. A no-op in default builds.
+    pub fn publish_timelines(&self, prefix: &str) {
+        if !fc_obs::series::enabled() {
+            return;
+        }
+        self.timeline.publish(&format!("{prefix}.memsys"));
+        if let Some(stacked) = &self.stacked {
+            stacked.publish_timelines(&format!("{prefix}.stacked"));
+        }
+        self.offchip.publish_timelines(&format!("{prefix}.offchip"));
     }
 
     /// Executes a plan: critical ops serialize starting after the tag

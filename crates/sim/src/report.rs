@@ -177,6 +177,23 @@ impl SimReport {
         }
     }
 
+    /// Adds this report's counters into the global `fc_obs` metrics
+    /// registry (`sim.*`, `cache.*`, `dram.*`). Purely additive: the
+    /// report itself — and thus every golden/bit-equality check over
+    /// it — is untouched. Called once per measured interval.
+    pub fn publish_metrics(&self) {
+        fc_obs::metrics::counter("sim.reports").inc();
+        fc_obs::metrics::counter("sim.insts").add(self.insts);
+        fc_obs::metrics::counter("sim.cycles").add(self.cycles);
+        fc_obs::metrics::counter("cache.accesses").add(self.cache.accesses);
+        fc_obs::metrics::counter("cache.hits").add(self.cache.hits);
+        fc_obs::metrics::counter("cache.misses").add(self.cache.misses);
+        fc_obs::metrics::counter("cache.fill_blocks").add(self.cache.fill_blocks);
+        fc_obs::metrics::counter("cache.evictions").add(self.cache.evictions);
+        self.offchip.publish_metrics(false);
+        self.stacked.publish_metrics(true);
+    }
+
     /// The paper's throughput metric: aggregate committed instructions
     /// over total cycles (Section 5.4).
     pub fn throughput(&self) -> f64 {

@@ -53,6 +53,15 @@ usage: fc_sweep [options]
                      BENCH_designspace.json (with --sampled: also runs
                      the full grid and writes the speedup-vs-error
                      report, e.g. BENCH_sample.json)
+  --trace-out PATH   write a Chrome trace-event JSON timeline of the run
+                     (open in Perfetto / chrome://tracing): synthesis,
+                     warmup, detailed simulation and memo activity on
+                     per-worker lanes
+  --metrics-out PATH write this run's metrics-registry delta (plus any
+                     detailed-stats time series) as provenance-stamped
+                     JSON
+  --progress-jsonl PATH  stream one JSON object per finished point plus
+                     a final summary (machine-readable progress)
   --list             print the grid points and exit
   --list-grids       print the grid catalogue and exit
   --list-designs     print the design-family catalogue and exit
@@ -170,6 +179,89 @@ fn write_file(path: &str, contents: &str) {
     eprintln!("[fc_sweep] wrote {path}");
 }
 
+/// `--trace-out` / `--metrics-out` state for the whole run. The
+/// metrics baseline is snapshotted before the grid starts, so the
+/// emitted artifact is this run's delta, not process-lifetime totals;
+/// tracing is switched on only when a trace is requested (otherwise
+/// every span is a single relaxed atomic load).
+struct ObsOut {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_base: fc_obs::metrics::MetricsSnapshot,
+}
+
+impl ObsOut {
+    fn new(trace_out: Option<String>, metrics_out: Option<String>) -> Self {
+        if trace_out.is_some() {
+            fc_obs::trace::enable();
+        }
+        Self {
+            trace_out,
+            metrics_out,
+            metrics_base: fc_obs::metrics::snapshot(),
+        }
+    }
+
+    /// Writes the trace and metrics artifacts (a no-op without flags).
+    fn finish(&self, prov: &fc_obs::Provenance) {
+        if let Some(path) = &self.trace_out {
+            fc_obs::trace::flush_thread();
+            write_file(path, &fc_obs::trace::chrome_trace_json());
+        }
+        if let Some(path) = &self.metrics_out {
+            let delta = fc_obs::metrics::snapshot().delta(&self.metrics_base);
+            write_file(path, &emit::to_metrics_json(&delta, prov));
+        }
+    }
+}
+
+/// The run-provenance stamp every artifact of this invocation carries.
+#[allow(clippy::too_many_arguments)]
+fn provenance(
+    grid: &str,
+    scale_name: &str,
+    seed: u64,
+    threads: usize,
+    points: usize,
+    workloads: Vec<String>,
+    designs: Vec<String>,
+    wall_secs: f64,
+) -> fc_obs::Provenance {
+    let mut p = fc_obs::Provenance::for_tool("fc_sweep");
+    p.grid = Some(grid.to_string());
+    p.scale = Some(scale_name.to_string());
+    p.seed = Some(seed);
+    p.threads = Some(threads);
+    p.points = Some(points);
+    p.workloads = workloads;
+    p.designs = designs;
+    p.wall_secs = Some(wall_secs);
+    p
+}
+
+/// Opens the `--progress-jsonl` sink (buffered; flushed by the
+/// engine's final summary event).
+fn progress_sink(path: &Option<String>) -> Option<fc_sweep::ProgressSink> {
+    path.as_ref().map(|p| {
+        let f =
+            std::fs::File::create(p).unwrap_or_else(|e| fail(&format!("cannot create {p}: {e}")));
+        let w: Box<dyn Write + Send> = Box::new(std::io::BufWriter::new(f));
+        std::sync::Arc::new(std::sync::Mutex::new(w)) as fc_sweep::ProgressSink
+    })
+}
+
+/// De-duplicated design labels, in first-seen order.
+fn design_labels(designs: &[DesignSpec]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for d in designs {
+        let label = d.label();
+        if !out.contains(&label) {
+            out.push(label);
+        }
+    }
+    out
+}
+
 fn print_summary(results: &[SweepResult]) {
     println!(
         "{:<16} {:<28} {:>8} {:>10} {:>12} {:>12}",
@@ -205,12 +297,14 @@ fn run_loaded_grid(
     capacities: &[u64],
     workloads: &[WorkloadKind],
     scale: RunScale,
+    scale_name: &str,
     threads: Option<usize>,
     seed: u64,
     speedup: bool,
     json_path: &Option<String>,
     csv_path: &Option<String>,
     bench_path: &Option<String>,
+    obs: &ObsOut,
     list_only: bool,
 ) {
     let designs = parse_designs(designs_arg.as_deref().unwrap_or(LOADED_DESIGNS), capacities);
@@ -289,18 +383,38 @@ fn run_loaded_grid(
     }
 
     let workload = config.workload.to_string();
+    let prov = provenance(
+        "loaded",
+        scale_name,
+        seed,
+        workers,
+        grid.len(),
+        vec![workload.clone()],
+        design_labels(&grid.designs),
+        wall_secs,
+    );
     if let Some(path) = json_path {
-        write_file(path, &emit::to_loaded_json(&results, &workload));
+        write_file(
+            path,
+            &emit::with_provenance(&emit::to_loaded_json(&results, &workload), &prov),
+        );
     }
     if let Some(path) = csv_path {
-        write_file(path, &emit::to_loaded_csv(&results, &workload));
+        write_file(
+            path,
+            &emit::csv_with_provenance(&emit::to_loaded_csv(&results, &workload), &prov),
+        );
     }
     if let Some(path) = bench_path {
         write_file(
             path,
-            &emit::to_bandwidth_bench_json(&results, &workload, wall_secs),
+            &emit::with_provenance(
+                &emit::to_bandwidth_bench_json(&results, &workload, wall_secs),
+                &prov,
+            ),
         );
     }
+    obs.finish(&prov);
 }
 
 /// Default design families of the mix grid: the paper's design plus
@@ -316,12 +430,15 @@ fn run_mix_grid(
     scenarios_arg: &Option<String>,
     capacities: &[u64],
     scale: RunScale,
+    scale_name: &str,
     threads: Option<usize>,
     seed: u64,
     speedup: bool,
     json_path: &Option<String>,
     csv_path: &Option<String>,
     bench_path: &Option<String>,
+    jsonl: Option<fc_sweep::ProgressSink>,
+    obs: &ObsOut,
     list_only: bool,
     quiet: bool,
 ) {
@@ -357,6 +474,9 @@ fn run_mix_grid(
     }
     if quiet {
         engine = engine.quiet();
+    }
+    if let Some(sink) = jsonl {
+        engine = engine.with_progress_jsonl(sink);
     }
     let workers = engine.threads();
     eprintln!(
@@ -426,15 +546,35 @@ fn run_mix_grid(
         }
     }
 
+    let prov = provenance(
+        "mix",
+        scale_name,
+        seed,
+        workers,
+        grid.len(),
+        grid.scenarios.iter().map(|s| s.name.clone()).collect(),
+        design_labels(&grid.designs),
+        parallel_secs,
+    );
     if let Some(path) = json_path {
-        write_file(path, &emit::to_mix_json(&results));
+        write_file(
+            path,
+            &emit::with_provenance(&emit::to_mix_json(&results), &prov),
+        );
     }
     if let Some(path) = csv_path {
-        write_file(path, &emit::to_mix_csv(&results));
+        write_file(
+            path,
+            &emit::csv_with_provenance(&emit::to_mix_csv(&results), &prov),
+        );
     }
     if let Some(path) = bench_path {
-        write_file(path, &emit::to_mix_bench_json(&results, parallel_secs));
+        write_file(
+            path,
+            &emit::with_provenance(&emit::to_mix_bench_json(&results, parallel_secs), &prov),
+        );
     }
+    obs.finish(&prov);
 }
 
 /// Runs a trace-replay spec through the interval sampler
@@ -446,6 +586,8 @@ fn run_mix_grid(
 fn run_sampled_mode(
     spec: &SweepSpec,
     grid_name: &str,
+    scale_name: &str,
+    seed: u64,
     sample_period: Option<u64>,
     sample_strata: u32,
     threads: Option<usize>,
@@ -453,6 +595,8 @@ fn run_sampled_mode(
     json_path: &Option<String>,
     csv_path: &Option<String>,
     bench_path: &Option<String>,
+    jsonl: Option<fc_sweep::ProgressSink>,
+    obs: &ObsOut,
     list_only: bool,
     quiet: bool,
 ) {
@@ -515,6 +659,9 @@ fn run_sampled_mode(
     }
     if quiet {
         engine = engine.quiet();
+    }
+    if let Some(sink) = jsonl {
+        engine = engine.with_progress_jsonl(sink);
     }
     let workers = engine.threads();
     eprintln!(
@@ -590,11 +737,37 @@ fn run_sampled_mode(
         }
     }
 
+    let grid_label = if grid_name == "sampled" {
+        grid_name.to_string()
+    } else {
+        format!("{grid_name}[sampled]")
+    };
+    let prov = provenance(
+        &grid_label,
+        scale_name,
+        seed,
+        workers,
+        grid.len(),
+        spec.points()
+            .iter()
+            .map(|p| p.workload.to_string())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect(),
+        design_labels(&spec.points().iter().map(|p| p.design).collect::<Vec<_>>()),
+        sampled_secs,
+    );
     if let Some(path) = json_path {
-        write_file(path, &emit::to_sampled_json(&results));
+        write_file(
+            path,
+            &emit::with_provenance(&emit::to_sampled_json(&results), &prov),
+        );
     }
     if let Some(path) = csv_path {
-        write_file(path, &emit::to_sampled_csv(&results));
+        write_file(
+            path,
+            &emit::csv_with_provenance(&emit::to_sampled_csv(&results), &prov),
+        );
     }
     if let Some(path) = bench_path {
         // The speedup-vs-error report needs the full detailed twin of
@@ -608,13 +781,14 @@ fn run_sampled_mode(
         let full = engine.run_spec(spec);
         let full_secs = started.elapsed().as_secs_f64();
         let report = emit::to_sample_bench_json(&results, &full, sampled_secs, full_secs);
-        write_file(path, &report);
+        write_file(path, &emit::with_provenance(&report, &prov));
         eprintln!(
             "[fc_sweep] full twin in {full_secs:.2}s vs sampled {sampled_secs:.2}s \
              ({:.1}x wall)",
             full_secs / sampled_secs.max(1e-9)
         );
     }
+    obs.finish(&prov);
 }
 
 fn main() {
@@ -634,6 +808,10 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut bench_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut progress_jsonl: Option<String> = None;
+    let mut scale_name: Option<String> = None;
     let mut list_only = false;
     let mut list_grids = false;
     let mut list_designs = false;
@@ -669,13 +847,15 @@ fn main() {
             "--workloads" => workloads = parse_workloads(&value(&mut args, "--workloads")),
             "--scenarios" => scenarios_arg = Some(value(&mut args, "--scenarios")),
             "--scale" => {
-                scale = Some(match value(&mut args, "--scale").as_str() {
+                let name = value(&mut args, "--scale");
+                scale = Some(match name.as_str() {
                     "quick" => RunScale::quick(),
                     "full" => RunScale::full(),
                     "tiny" => RunScale::tiny(),
                     "long" => RunScale::long(),
                     other => fail(&format!("unknown scale `{other}`")),
-                })
+                });
+                scale_name = Some(name);
             }
             "--sampled" => sampled = true,
             "--sample-period" => {
@@ -710,6 +890,9 @@ fn main() {
             "--json" => json_path = Some(value(&mut args, "--json")),
             "--csv" => csv_path = Some(value(&mut args, "--csv")),
             "--bench" => bench_path = Some(value(&mut args, "--bench")),
+            "--trace-out" => trace_out = Some(value(&mut args, "--trace-out")),
+            "--metrics-out" => metrics_out = Some(value(&mut args, "--metrics-out")),
+            "--progress-jsonl" => progress_jsonl = Some(value(&mut args, "--progress-jsonl")),
             "--list" => list_only = true,
             "--list-grids" => list_grids = true,
             "--list-designs" => list_designs = true,
@@ -758,6 +941,10 @@ fn main() {
             vec![64, 128, 256, 512]
         }
     });
+    let scale_name =
+        scale_name.unwrap_or_else(|| if sampled_preset { "long" } else { "quick" }.to_string());
+    let obs = ObsOut::new(trace_out, metrics_out);
+    let jsonl = progress_sink(&progress_jsonl);
 
     if sampled && (grid == "mix" || grid == "loaded") {
         fail("--sampled applies to trace-replay grids (fig4/fig5/fig67/designspace/sampled)");
@@ -769,12 +956,15 @@ fn main() {
             &scenarios_arg,
             &capacities,
             scale,
+            &scale_name,
             threads,
             seed,
             speedup,
             &json_path,
             &csv_path,
             &bench_path,
+            jsonl,
+            &obs,
             list_only,
             quiet,
         );
@@ -782,17 +972,25 @@ fn main() {
     }
 
     if grid == "loaded" {
+        if jsonl.is_some() {
+            eprintln!(
+                "[fc_sweep] note: --progress-jsonl applies to engine-driven \
+                 grids; the loaded grid reports on stderr only"
+            );
+        }
         run_loaded_grid(
             &designs_arg,
             &capacities,
             &workloads,
             scale,
+            &scale_name,
             threads,
             seed,
             speedup,
             &json_path,
             &csv_path,
             &bench_path,
+            &obs,
             list_only,
         );
         return;
@@ -814,6 +1012,8 @@ fn main() {
         run_sampled_mode(
             &spec,
             &grid,
+            &scale_name,
+            seed,
             sample_period,
             sample_strata,
             threads,
@@ -821,6 +1021,8 @@ fn main() {
             &json_path,
             &csv_path,
             &bench_path,
+            jsonl,
+            &obs,
             list_only,
             quiet,
         );
@@ -846,6 +1048,9 @@ fn main() {
     }
     if quiet {
         engine = engine.quiet();
+    }
+    if let Some(sink) = jsonl {
+        engine = engine.with_progress_jsonl(sink);
     }
     let workers = engine.threads();
 
@@ -894,16 +1099,36 @@ fn main() {
         });
     }
 
+    let prov = provenance(
+        &grid,
+        &scale_name,
+        seed,
+        workers,
+        spec.len(),
+        workloads.iter().map(|w| w.to_string()).collect(),
+        design_labels(&designs),
+        parallel_secs,
+    );
     if let Some(path) = &json_path {
-        write_file(path, &emit::to_json(&results));
+        write_file(
+            path,
+            &emit::with_provenance(&emit::to_json(&results), &prov),
+        );
     }
     if let Some(path) = &csv_path {
-        write_file(path, &emit::to_csv(&results));
+        write_file(
+            path,
+            &emit::csv_with_provenance(&emit::to_csv(&results), &prov),
+        );
     }
     if let Some(path) = &bench_path {
         write_file(
             path,
-            &emit::to_bench_json(&grid, &results, parallel_secs, speedup_summary),
+            &emit::with_provenance(
+                &emit::to_bench_json(&grid, &results, parallel_secs, speedup_summary),
+                &prov,
+            ),
         );
     }
+    obs.finish(&prov);
 }

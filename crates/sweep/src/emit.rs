@@ -162,6 +162,48 @@ pub fn to_csv(results: &[SweepResult]) -> String {
     out
 }
 
+/// Wraps a JSON artifact with a run-provenance header. Arrays become
+/// `{"provenance": ..., "results": [...]}`; objects get a
+/// `"provenance"` key spliced in as their first member. Existing
+/// artifact shapes are never mutated in place — callers opt in.
+pub fn with_provenance(artifact: &str, prov: &fc_obs::Provenance) -> String {
+    let trimmed = artifact.trim_start();
+    if trimmed.starts_with('[') {
+        format!(
+            "{{\n\"provenance\": {},\n\"results\": {}}}\n",
+            prov.to_json(),
+            artifact.trim_end()
+        )
+    } else if let Some(rest) = trimmed.strip_prefix('{') {
+        format!("{{\n\"provenance\": {},{rest}", prov.to_json())
+    } else {
+        // Not JSON we recognize; leave it untouched.
+        artifact.to_string()
+    }
+}
+
+/// Prepends a `# provenance: {...}` comment line to a CSV artifact, so
+/// every emitted table records the run that produced it without
+/// breaking header-row parsing (readers skip `#` lines).
+pub fn csv_with_provenance(csv: &str, prov: &fc_obs::Provenance) -> String {
+    format!("# provenance: {}\n{csv}", prov.to_json())
+}
+
+/// Renders a metrics snapshot plus any published detailed-stats time
+/// series as one provenance-stamped JSON object — the `--metrics-out`
+/// artifact.
+pub fn to_metrics_json(
+    snapshot: &fc_obs::metrics::MetricsSnapshot,
+    prov: &fc_obs::Provenance,
+) -> String {
+    format!(
+        "{{\n\"provenance\": {},\n\"metrics\": {},\n\"timeseries\": {}\n}}\n",
+        prov.to_json(),
+        snapshot.to_json(),
+        fc_obs::series::published_json(),
+    )
+}
+
 fn stacked_bytes_per_inst(rep: &fc_sim::SimReport) -> f64 {
     if rep.insts == 0 {
         0.0
@@ -938,6 +980,69 @@ mod tests {
         let engine = SweepEngine::new().with_threads(1).quiet();
         let sampled = run_sampled_grid(&grid, &engine);
         to_sample_bench_json(&sampled, &[], 0.1, 0.1);
+    }
+
+    #[test]
+    fn provenance_wraps_arrays_and_objects() {
+        let mut prov = fc_obs::Provenance::for_tool("fc_sweep");
+        prov.grid = Some("designspace".to_string());
+        prov.seed = Some(42);
+
+        let results = sample_results();
+        let wrapped = with_provenance(&to_json(&results), &prov);
+        let parsed = fc_sim::json::JsonValue::parse(&wrapped).expect("valid JSON");
+        assert!(parsed.get("provenance").is_some());
+        let fc_sim::json::JsonValue::Arr(rows) = parsed.field("results").unwrap() else {
+            panic!("results should stay an array");
+        };
+        assert_eq!(rows.len(), 2);
+
+        let bench = with_provenance(&to_bench_json("g", &results, 1.0, None), &prov);
+        let parsed = fc_sim::json::JsonValue::parse(&bench).expect("valid JSON");
+        let fc_sim::json::JsonValue::Obj(fields) = &parsed else {
+            panic!("bench stays an object");
+        };
+        assert_eq!(fields[0].0, "provenance", "provenance splices in first");
+        assert!(parsed.get("grid").is_some());
+        let tool = parsed.field("provenance").unwrap().field("tool").unwrap();
+        assert_eq!(tool.as_str().unwrap(), "fc_sweep");
+
+        // Non-JSON artifacts pass through untouched.
+        assert_eq!(with_provenance("plain text", &prov), "plain text");
+    }
+
+    #[test]
+    fn csv_provenance_is_a_comment_line() {
+        let prov = fc_obs::Provenance::for_tool("fc_sweep");
+        let results = sample_results();
+        let csv = csv_with_provenance(&to_csv(&results), &prov);
+        let mut lines = csv.lines();
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("# provenance: {"));
+        fc_sim::json::JsonValue::parse(first.trim_start_matches("# provenance: "))
+            .expect("comment payload is valid JSON");
+        assert!(lines.next().unwrap().starts_with("workload,design,"));
+    }
+
+    #[test]
+    fn metrics_json_carries_snapshot_and_provenance() {
+        fc_obs::metrics::counter("emit.test.counter").add(3);
+        let snapshot = fc_obs::metrics::snapshot();
+        let prov = fc_obs::Provenance::for_tool("fc_sweep");
+        let out = to_metrics_json(&snapshot, &prov);
+        let parsed = fc_sim::json::JsonValue::parse(&out).expect("valid JSON");
+        for key in ["provenance", "metrics", "timeseries"] {
+            assert!(parsed.get(key).is_some(), "missing {key}");
+        }
+        let counters = parsed.field("metrics").unwrap().field("counters").unwrap();
+        assert!(
+            counters
+                .field("emit.test.counter")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 3
+        );
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use fc_obs::{metrics, trace};
 use fc_sim::{SimReport, Simulation};
 
-use crate::progress::Progress;
+use crate::progress::{Progress, ProgressSink};
 use crate::spec::{SweepPoint, SweepSpec};
 use crate::store::ResultStore;
 use crate::trace_cache::TraceCache;
@@ -47,6 +48,7 @@ pub struct SweepEngine {
     traces: Arc<TraceCache>,
     threads: usize,
     verbose: bool,
+    jsonl: Option<ProgressSink>,
 }
 
 impl Default for SweepEngine {
@@ -68,6 +70,7 @@ impl SweepEngine {
             traces: Arc::new(TraceCache::default()),
             threads,
             verbose: true,
+            jsonl: None,
         }
     }
 
@@ -86,6 +89,14 @@ impl SweepEngine {
     /// Silences per-point progress lines.
     pub fn quiet(mut self) -> Self {
         self.verbose = false;
+        self
+    }
+
+    /// Streams structured progress events (one JSON object per point,
+    /// plus a final summary) into `sink` — the `--progress-jsonl`
+    /// plumbing.
+    pub fn with_progress_jsonl(mut self, sink: ProgressSink) -> Self {
+        self.jsonl = Some(sink);
         self
     }
 
@@ -110,35 +121,53 @@ impl SweepEngine {
         &self.traces
     }
 
+    /// A progress tracker for `total` points wired to this engine's
+    /// verbosity and `--progress-jsonl` sink (shared with the sampled
+    /// runner, which drives its own point loop).
+    pub(crate) fn progress_for(&self, total: usize) -> Progress {
+        Progress::new(total, self.verbose).with_jsonl(self.jsonl.clone())
+    }
+
     /// Runs every point of `spec` (in parallel when the engine has >1
     /// thread), returning results in spec order.
     pub fn run_spec(&self, spec: &SweepSpec) -> Vec<SweepResult> {
         let points = spec.points();
-        let progress = Progress::new(points.len(), self.verbose);
+        let progress = self.progress_for(points.len());
         let slots: Vec<OnceLock<(Arc<SimReport>, f64, bool)>> =
             points.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
 
         let workers = self.threads.min(points.len()).max(1);
         if workers == 1 {
+            trace::set_lane_name("main");
             for (point, slot) in points.iter().zip(&slots) {
                 let outcome = self.run_point_tracked(point, &progress);
                 slot.set(outcome).expect("slot written once");
             }
         } else {
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(point) = points.get(index) else {
-                            break;
-                        };
-                        let outcome = self.run_point_tracked(point, &progress);
-                        slots[index].set(outcome).expect("slot written once");
+                let (cursor, points, slots, progress) = (&cursor, &points, &slots, &progress);
+                for worker in 0..workers {
+                    scope.spawn(move || {
+                        trace::set_lane_name(&format!("worker-{worker}"));
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(point) = points.get(index) else {
+                                break;
+                            };
+                            let outcome = self.run_point_tracked(point, progress);
+                            slots[index].set(outcome).expect("slot written once");
+                        }
+                        // Explicit: a scoped join may land before TLS
+                        // destructors run, so the buffer drains here.
+                        trace::flush_thread();
                     });
                 }
             });
         }
+        progress.finish_run();
+        metrics::counter("sweep.points").add(points.len() as u64);
+        metrics::counter("sweep.memo_hits").add(progress.memo_hits() as u64);
 
         points
             .iter()
@@ -166,11 +195,23 @@ impl SweepEngine {
         point: &SweepPoint,
         progress: &Progress,
     ) -> (Arc<SimReport>, f64, bool) {
+        let _point_span = trace::span_with("point", "sweep", || point.label());
         let key = point.key();
-        let memoized = self.store.get(&key).is_some();
+        let memoized = {
+            let _span = trace::span("memo-lookup", "sweep");
+            self.store.get(&key).is_some()
+        };
+        if memoized {
+            trace::instant("memo-hit", "sweep", || point.label());
+        }
         let started = std::time::Instant::now();
         let report = self.store.get_or_compute(&key, || self.simulate(point));
         let sim_secs = started.elapsed().as_secs_f64();
+        if !memoized {
+            // Fresh simulations (not memo recalls) feed the registry,
+            // so counters reflect work actually performed.
+            report.publish_metrics();
+        }
         progress.finish_point(&point.label(), memoized);
         (report, sim_secs, memoized)
     }
@@ -183,7 +224,7 @@ impl SweepEngine {
         let warmup = point.warmup();
         let measured = point.measured();
         let mut sim = Simulation::new(point.config, point.design);
-        match self.traces.records(
+        let report = match self.traces.records(
             point.workload,
             point.config.cores,
             point.seed(),
@@ -192,15 +233,23 @@ impl SweepEngine {
             Some(records) => {
                 let (warm, meas) =
                     records[..(warmup + measured) as usize].split_at(warmup as usize);
-                for r in warm {
-                    sim.step(r);
+                {
+                    let _span = trace::span("detailed-warmup", "sweep");
+                    for r in warm {
+                        sim.step(r);
+                    }
+                    sim.drain();
                 }
-                sim.drain();
                 let snapshot = sim.snapshot();
                 sim.run_records(meas.iter().cloned(), &snapshot)
             }
             None => sim.run_workload(point.workload, point.seed(), warmup, measured),
+        };
+        metrics::counter("sweep.simulations").inc();
+        if fc_obs::series::enabled() {
+            sim.memsys().publish_timelines(&point.label());
         }
+        report
     }
 }
 

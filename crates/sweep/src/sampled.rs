@@ -173,12 +173,14 @@ pub struct SampledResult {
 /// trace paths replay identical record sequences.
 pub fn run_sampled_grid(grid: &SampledGrid, engine: &SweepEngine) -> Vec<SampledResult> {
     let points = grid.points();
+    let progress = engine.progress_for(points.len());
     let slots: Vec<OnceLock<(Arc<SampledReport>, f64, bool)>> =
         points.iter().map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
 
     let run_point = |index: usize| {
         let sp = &points[index];
+        let _point_span = fc_obs::trace::span_with("sampled-point", "sweep", || sp.label());
         let key = sp.key();
         let memoized = engine.sampled_store().get(&key).is_some();
         let started = std::time::Instant::now();
@@ -202,29 +204,40 @@ pub fn run_sampled_grid(grid: &SampledGrid, engine: &SweepEngine) -> Vec<Sampled
                 ),
             }
         });
+        progress.finish_point(&points[index].label(), memoized);
         (report, started.elapsed().as_secs_f64(), memoized)
     };
 
     let workers = engine.threads().clamp(1, points.len().max(1));
     if workers == 1 {
+        fc_obs::trace::set_lane_name("main");
         for (index, slot) in slots.iter().enumerate() {
             slot.set(run_point(index)).expect("slot written once");
         }
     } else {
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= points.len() {
-                        break;
+            let (run_point, cursor, slots, points) = (&run_point, &cursor, &slots, &points);
+            for worker in 0..workers {
+                scope.spawn(move || {
+                    fc_obs::trace::set_lane_name(&format!("worker-{worker}"));
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= points.len() {
+                            break;
+                        }
+                        slots[index]
+                            .set(run_point(index))
+                            .expect("slot written once");
                     }
-                    slots[index]
-                        .set(run_point(index))
-                        .expect("slot written once");
+                    // Explicit: a scoped join may land before TLS
+                    // destructors run, so the buffer drains here.
+                    fc_obs::trace::flush_thread();
                 });
             }
         });
     }
+    progress.finish_run();
+    fc_obs::metrics::counter("sweep.sampled_points").add(points.len() as u64);
 
     points
         .iter()

@@ -106,6 +106,9 @@ impl TraceCache {
         let mut cached = entry.lock().expect("trace cache entry");
         if cached.records.len() < len {
             let missing = len - cached.records.len();
+            let _span = fc_obs::trace::span_with("synthesis", "sweep", || {
+                format!("{workload:?} +{missing} records")
+            });
             let CachedTrace { generator, records } = &mut *cached;
             // Readers holding earlier Arcs keep their (shorter) prefix;
             // `make_mut` clones only while such readers exist.
