@@ -14,6 +14,7 @@ mod fig9;
 mod loaded_latency;
 mod mix;
 mod observability;
+mod pit;
 mod sampling;
 mod tables;
 
@@ -32,6 +33,7 @@ pub use fig9::fig9;
 pub use loaded_latency::loaded_latency;
 pub use mix::mix;
 pub use observability::observability;
+pub use pit::pit;
 pub use sampling::sampling;
 pub use tables::{table1, table4};
 
@@ -115,6 +117,7 @@ pub fn run_all(lab: &mut Lab) -> String {
         loaded_latency(lab),
         mix(lab),
         sampling(lab),
+        pit(lab),
         observability(lab),
         fig10(lab),
         fig11(lab),

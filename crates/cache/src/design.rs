@@ -178,12 +178,39 @@ pub struct PredictionCounters {
     pub singleton_promotions: u64,
 }
 
+/// Object-safe cloning for boxed design models.
+///
+/// Checkpointable simulation (the parallel-in-time sampler) needs to
+/// clone a `Box<dyn DramCacheModel + Send + Sync>` without knowing the
+/// concrete type. Every `Clone + Send` model gets this for free via
+/// the blanket impl; design authors never implement it by hand — they
+/// `#[derive(Clone)]` and the supertrait bound is satisfied.
+pub trait CloneModel {
+    /// Clones the model behind a fresh box.
+    fn clone_model(&self) -> Box<dyn DramCacheModel + Send + Sync>;
+}
+
+impl<T: DramCacheModel + Clone + Send + Sync + 'static> CloneModel for T {
+    fn clone_model(&self) -> Box<dyn DramCacheModel + Send + Sync> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn DramCacheModel + Send + Sync> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
 /// A die-stacked DRAM cache design.
 ///
 /// Implementations are purely functional models: they maintain their own
 /// tag/metadata state and translate each request into an [`AccessPlan`];
 /// timing and energy fall out of executing plans against the DRAM models.
-pub trait DramCacheModel {
+/// Models must also be cheaply cloneable ([`CloneModel`], free with
+/// `#[derive(Clone)]`) so engine state can be checkpointed at interval
+/// boundaries.
+pub trait DramCacheModel: CloneModel {
     /// Handles a demand access (a read or write that missed in the L2).
     fn access(&mut self, req: MemAccess) -> AccessPlan;
 

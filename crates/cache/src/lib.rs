@@ -60,8 +60,8 @@ pub use alloy::AlloyCache;
 pub use banshee::BansheeCache;
 pub use block::BlockBasedCache;
 pub use design::{
-    sram_latency_cycles, DensityHistogram, DramCacheModel, DramCacheStats, PredictionCounters,
-    StorageItem,
+    sram_latency_cycles, CloneModel, DensityHistogram, DramCacheModel, DramCacheStats,
+    PredictionCounters, StorageItem,
 };
 pub use gemini::GeminiCache;
 pub use hotpage::HotPageCache;

@@ -172,6 +172,71 @@ impl DramCacheModel for SubBlockCache {
         &self.stats
     }
 
+    // Warmup-only update path: the exact state transitions and
+    // statistics of `access`/`writeback` without constructing the
+    // `AccessPlan`'s op vectors (the only heap work on this design's
+    // hot path). The sampled simulator's functional mode calls these
+    // once per fast-forwarded record, so the savings compound.
+    //
+    // Invariant (enforced by `warm_path_matches_detailed_path` below):
+    // a cache driven by the warm methods is indistinguishable — tags,
+    // replacement order, block states, and every counter — from one
+    // driven by the plan-building methods.
+
+    fn warm_access(&mut self, req: MemAccess) {
+        self.stats.accesses += 1;
+        let page = self.geom.page_of(req.addr);
+        let offset = self.geom.block_offset(req.addr);
+        let (set, tag) = self.decompose(page);
+        if let Some(states) = self.tags.get(set, tag) {
+            if states.state(offset).is_present() {
+                states.demand_read(offset);
+                self.stats.hits += 1;
+                self.stats.stacked_read_blocks += 1;
+                return;
+            }
+            // Sub-miss: page allocated, block absent.
+            states.demand_read(offset);
+            self.stats.misses += 1;
+            self.stats.offchip_read_blocks += 1;
+            self.stats.fill_blocks += 1;
+            self.stats.stacked_write_blocks += 1;
+            return;
+        }
+        // Page miss: allocate the tag, fetch only the demanded block.
+        self.stats.misses += 1;
+        self.stats.offchip_read_blocks += 1;
+        let mut states = BlockStateVec::new();
+        states.demand_read(offset);
+        if let Some((_victim_tag, victim)) = self.tags.insert(set, tag, states) {
+            self.stats.evictions += 1;
+            self.stats.density.record(victim.demanded().len());
+            let dirty = victim.dirty();
+            if !dirty.is_empty() {
+                self.stats.dirty_evictions += 1;
+                self.stats.stacked_read_blocks += dirty.len() as u64;
+                self.stats.offchip_write_blocks += dirty.len() as u64;
+            }
+        }
+        self.stats.fill_blocks += 1;
+        self.stats.stacked_write_blocks += 1;
+    }
+
+    fn warm_writeback(&mut self, addr: PhysAddr) {
+        let page = self.geom.page_of(addr);
+        let offset = self.geom.block_offset(addr);
+        let (set, tag) = self.decompose(page);
+        match self.tags.get(set, tag) {
+            Some(states) if states.state(offset).is_present() => {
+                states.demand_write(offset);
+                self.stats.stacked_write_blocks += 1;
+            }
+            _ => {
+                self.stats.offchip_write_blocks += 1;
+            }
+        }
+    }
+
     fn storage(&self) -> Vec<StorageItem> {
         let bytes = self.tags.capacity() as u64 * TAG_ENTRY_BITS / 8;
         vec![StorageItem {
@@ -236,6 +301,39 @@ mod tests {
         }
         assert_eq!(c.stats().dirty_evictions, 1);
         assert_eq!(c.stats().offchip_write_blocks, 1);
+    }
+
+    #[test]
+    fn warm_path_matches_detailed_path() {
+        // The warmup-only update path must leave the cache — tags,
+        // replacement order, block states, and every statistic —
+        // exactly where the plan-building path would.
+        let mut detailed = cache();
+        let mut warm = cache();
+        // A mixed stream with reuse, sub-misses, conflict evictions
+        // and dirty pages (addresses stride the set index).
+        let mut addr = 0x40u64;
+        for i in 0..4_000u64 {
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (addr >> 16) % (64 << 20);
+            if i % 3 == 0 {
+                let _ = detailed.writeback(PhysAddr::new(a));
+                warm.warm_writeback(PhysAddr::new(a));
+            } else {
+                let req = MemAccess::read(Pc::new(0x400), PhysAddr::new(a), 0);
+                let _ = detailed.access(req);
+                warm.warm_access(req);
+            }
+        }
+        assert_eq!(detailed.stats(), warm.stats());
+        // Replacement state must agree too: the same probe stream
+        // produces identical plans afterwards.
+        for probe in (0..64u64).map(|i| i * 0x10040) {
+            let req = MemAccess::read(Pc::new(0x400), PhysAddr::new(probe), 0);
+            assert_eq!(detailed.access(req), warm.access(req));
+        }
     }
 
     #[test]

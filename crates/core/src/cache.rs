@@ -216,6 +216,51 @@ impl FootprintCache {
         }
     }
 
+    /// Warm-path twin of [`evict`](Self::evict): identical state
+    /// transitions, feedback, and statistics, no op vectors.
+    fn warm_evict(&mut self, entry: PageEntry) {
+        self.stats.evictions += 1;
+        let demanded = entry.states.demanded();
+        self.stats.density.record(demanded.len());
+
+        self.fht.train(entry.fht_key, demanded);
+        self.metrics.covered_blocks += entry.predicted.intersection(demanded).len() as u64;
+        self.metrics.overpredicted_blocks += entry.predicted.difference(demanded).len() as u64;
+        self.metrics.underpredicted_blocks += demanded.difference(entry.predicted).len() as u64;
+
+        let dirty = entry.states.dirty();
+        if dirty.is_empty() {
+            return;
+        }
+        self.stats.dirty_evictions += 1;
+        self.stats.stacked_read_blocks += dirty.len() as u64;
+        self.stats.offchip_write_blocks += dirty.len() as u64;
+    }
+
+    /// Warm-path twin of [`allocate`](Self::allocate): identical tag,
+    /// predictor, and counter updates, no op vectors.
+    fn warm_allocate(&mut self, page: PageAddr, offset: usize, predicted: Footprint, fht_key: u64) {
+        let (set, tag) = self.decompose(page);
+        let blocks = predicted.len() as u64;
+        self.stats.offchip_read_blocks += blocks;
+        self.stats.stacked_write_blocks += blocks;
+        self.stats.fill_blocks += blocks;
+
+        let mut states = BlockStateVec::new();
+        for b in predicted.iter() {
+            states.fill_prefetched(b);
+        }
+        states.demand_read(offset);
+        let entry = PageEntry {
+            states,
+            predicted,
+            fht_key,
+        };
+        if let Some((_victim_tag, victim)) = self.tags.insert(set, tag, entry) {
+            self.warm_evict(victim);
+        }
+    }
+
     /// Evicts every cached page, emitting FHT feedback (useful for tests
     /// and for phase-boundary experiments; not a hardware operation).
     pub fn flush(&mut self) {
@@ -348,6 +393,86 @@ impl DramCacheModel for FootprintCache {
 
     fn stats(&self) -> &DramCacheStats {
         &self.stats
+    }
+
+    // Warmup-only update path: the exact state transitions and
+    // statistics of `access`/`writeback` — tags, FHT, Singleton Table,
+    // prediction metrics — without constructing the `AccessPlan`'s op
+    // vectors. The sampled simulator's functional mode calls these
+    // once per fast-forwarded record, so the savings compound.
+    //
+    // Invariant (enforced by `warm_path_matches_detailed_path` below):
+    // a cache driven by the warm methods is indistinguishable from one
+    // driven by the plan-building methods.
+
+    fn warm_access(&mut self, req: MemAccess) {
+        self.stats.accesses += 1;
+        let geom = self.config.geom;
+        let page = geom.page_of(req.addr);
+        let offset = geom.block_offset(req.addr);
+        let (set, tag) = self.decompose(page);
+
+        if let Some(entry) = self.tags.get(set, tag) {
+            if entry.states.state(offset).is_present() {
+                entry.states.demand_read(offset);
+                self.stats.hits += 1;
+                self.stats.stacked_read_blocks += 1;
+                return;
+            }
+            // Underprediction: page resident, block not fetched.
+            entry.states.demand_read(offset);
+            self.stats.misses += 1;
+            self.stats.offchip_read_blocks += 1;
+            self.stats.fill_blocks += 1;
+            self.stats.stacked_write_blocks += 1;
+            return;
+        }
+
+        // Page miss (triggering miss).
+        self.stats.misses += 1;
+        let key = self.config.key_kind.key(req.pc.raw(), offset);
+
+        if let Some(st_entry) = self.st.take(page) {
+            self.metrics.singleton_promotions += 1;
+            let mut predicted = Footprint::singleton(st_entry.offset as usize);
+            predicted.insert(offset);
+            self.fht.train(st_entry.key, predicted);
+            self.warm_allocate(page, offset, predicted, st_entry.key);
+            return;
+        }
+
+        match self.fht.predict(key) {
+            Some(fp) if self.config.singleton_optimization && fp.is_singleton() => {
+                self.metrics.singleton_bypasses += 1;
+                self.stats.bypasses += 1;
+                self.stats.offchip_read_blocks += 1;
+                self.st.record(page, key, offset as u8);
+            }
+            Some(fp) => {
+                let mut predicted = fp;
+                predicted.insert(offset);
+                self.warm_allocate(page, offset, predicted, key);
+            }
+            None => {
+                self.warm_allocate(page, offset, Footprint::singleton(offset), key);
+            }
+        }
+    }
+
+    fn warm_writeback(&mut self, addr: PhysAddr) {
+        let geom = self.config.geom;
+        let page = geom.page_of(addr);
+        let offset = geom.block_offset(addr);
+        let (set, tag) = self.decompose(page);
+        match self.tags.get(set, tag) {
+            Some(entry) if entry.states.state(offset).is_present() => {
+                entry.states.demand_write(offset);
+                self.stats.stacked_write_blocks += 1;
+            }
+            _ => {
+                self.stats.offchip_write_blocks += 1;
+            }
+        }
     }
 
     fn storage(&self) -> Vec<StorageItem> {
@@ -539,6 +664,41 @@ mod tests {
         }
         c.flush();
         assert_eq!(c.stats().density.bins()[2], 1); // 5 blocks -> 4-7 bin
+    }
+
+    #[test]
+    fn warm_path_matches_detailed_path() {
+        // The warmup-only update path must leave the cache — tags,
+        // replacement order, FHT, Singleton Table, and every
+        // statistic — exactly where the plan-building path would.
+        let mut detailed = small();
+        let mut warm = small();
+        // A mixed stream with reuse, a few hot PCs (so the FHT learns
+        // and predicts), conflict evictions and dirty pages.
+        let mut addr = 0x40u64;
+        for i in 0..4_000u64 {
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (addr >> 16) % (64 << 20);
+            let pc = 0x400 + (addr % 7) * 4;
+            if i % 3 == 0 {
+                let _ = detailed.writeback(PhysAddr::new(a));
+                warm.warm_writeback(PhysAddr::new(a));
+            } else {
+                let req = read(pc, a);
+                let _ = detailed.access(req);
+                warm.warm_access(req);
+            }
+        }
+        assert_eq!(detailed.stats(), warm.stats());
+        assert_eq!(detailed.metrics(), warm.metrics());
+        // Replacement and predictor state must agree too: the same
+        // probe stream produces identical plans afterwards.
+        for probe in (0..64u64).map(|i| i * 0x10040) {
+            let req = read(0x400, probe);
+            assert_eq!(detailed.access(req), warm.access(req));
+        }
     }
 
     #[test]

@@ -141,6 +141,13 @@ impl BoundedQueue {
     pub fn outstanding_at(&self, now: u64) -> usize {
         self.inflight.iter().filter(|&&done| done > now).count()
     }
+
+    /// Forgets every in-flight completion, returning the queue to its
+    /// freshly built state (capacity unchanged). Checkpoint quiescing:
+    /// outstanding timing state is discarded, admission restarts clean.
+    pub fn reset(&mut self) {
+        self.inflight.clear();
+    }
 }
 
 /// Per-channel time series, compiled in only with `detailed-stats`.
@@ -495,6 +502,22 @@ impl Channel {
             done,
             row_hit,
         }
+    }
+
+    /// Quiesces the channel's timing state: banks close and become
+    /// immediately available, the bus frees, the activation window and
+    /// request queue empty. Every *counter* (stats, activate log,
+    /// timelines) is kept — quiescing realigns time, it never loses
+    /// accounting. Used by `fc_sim`'s checkpoint API so a restored
+    /// simulation replays deterministically from a clean timing plane.
+    pub fn quiesce(&mut self) {
+        for bank in &mut self.banks {
+            *bank = Bank::new();
+        }
+        self.bus_free_at = 0;
+        self.act_window.clear();
+        self.last_act = None;
+        self.queue.reset();
     }
 
     /// Counters accumulated so far.

@@ -200,6 +200,15 @@ impl DramSystem {
         &self.config
     }
 
+    /// Quiesces every channel's timing state (open rows, bank/bus
+    /// reservations, activation windows, request queues) while keeping
+    /// all counters. See [`Channel::quiesce`].
+    pub fn quiesce(&mut self) {
+        for channel in &mut self.channels {
+            channel.quiesce();
+        }
+    }
+
     /// Accesses `blocks` consecutive 64-byte blocks starting at `addr`,
     /// arriving at cycle `at`. All blocks must fall within one DRAM row;
     /// this holds by construction for row-interleaved mappings when the

@@ -44,15 +44,17 @@
 #![warn(missing_docs)]
 
 mod estimate;
+mod pit;
 mod plan;
 mod report;
 mod runner;
 
 pub use estimate::Estimate;
+pub use pit::{assemble_report, build_base, fresh_at, run_interval, run_sampled_pit};
 pub use plan::SamplePlan;
 pub use report::{IntervalSample, SampledReport};
 pub use runner::{run_sampled, run_sampled_stream};
 
 // Re-exported so sampling callers can build simulations without extra
 // deps (mirrors `fc_sweep`'s re-export discipline).
-pub use fc_sim::{DesignSpec, ReportSnapshot, SimConfig, SimReport, Simulation};
+pub use fc_sim::{Checkpoint, DesignSpec, ReportSnapshot, SimConfig, SimReport, Simulation};

@@ -1,0 +1,324 @@
+//! Parallel-in-time execution of one sampled run.
+//!
+//! A skipping [`SamplePlan`] makes every measured period a pure
+//! function of (base checkpoint, that period's records): the
+//! sequential driver restores the base checkpoint before each period's
+//! functional warmup, so no period observes another's state. This
+//! module exploits that — the base is built once (the initial
+//! functional-warmup window), then periods drain from a shared cursor
+//! across worker threads, each worker cloning the base and replaying
+//! only its own period. Interval samples land in per-period slots and
+//! aggregate in plan order, so the report is **bit-identical** to the
+//! sequential driver's at any worker count.
+//!
+//! Continuous (exhaustive) plans carry state through the whole region
+//! and cannot be split in time; they delegate to the sequential
+//! driver, as does `workers <= 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use fc_sim::{Checkpoint, DesignSpec, SimConfig, SimReport, Simulation};
+use fc_trace::TraceRecord;
+
+use crate::plan::SamplePlan;
+use crate::report::{IntervalSample, SampledReport};
+use crate::runner::{run_sampled, PlanLayout};
+
+/// Runs a sampled simulation with periods dispatched across `workers`
+/// threads. Requires a materialized slice (workers seek to arbitrary
+/// record indices); the sweep layer falls back to the sequential
+/// streaming path when the trace cache cannot hold the run.
+///
+/// The report is bit-identical to [`run_sampled`] on the same inputs,
+/// for every `workers` value — both drivers compute the same pure
+/// per-period function from the same base checkpoint and merge in
+/// plan order.
+///
+/// # Panics
+///
+/// Panics if the plan is invalid, the slice is shorter than
+/// `warmup + measured`, or the measured region yields no interval.
+pub fn run_sampled_pit(
+    sim: &mut Simulation,
+    records: &[TraceRecord],
+    warmup: u64,
+    measured: u64,
+    plan: &SamplePlan,
+    workers: usize,
+) -> SampledReport {
+    assert!(
+        records.len() as u64 >= warmup + measured,
+        "slice holds {} records but the run needs {}",
+        records.len(),
+        warmup + measured
+    );
+    if plan.skip() == 0 || workers <= 1 {
+        return run_sampled(sim, records, warmup, measured, plan);
+    }
+    let base = build_base(sim, records, warmup, measured, plan);
+    let layout = PlanLayout::of(plan, warmup, measured);
+
+    let periods = layout.periods as usize;
+    fc_obs::metrics::counter("pit.intervals_dispatched").add(layout.periods);
+    let slots: Vec<OnceLock<IntervalSample>> = (0..periods).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = workers.min(periods.max(1));
+    std::thread::scope(|scope| {
+        let (base, slots, cursor) = (&base, &slots, &cursor);
+        for worker in 0..workers {
+            scope.spawn(move || {
+                fc_obs::trace::set_lane_name(&format!("pit-{worker}"));
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= periods {
+                        break;
+                    }
+                    let sample = run_interval(base, records, warmup, measured, plan, k as u64);
+                    slots[k].set(sample).expect("slot written once");
+                }
+                // Explicit: a scoped join may land before TLS
+                // destructors run, so the trace buffer drains here.
+                fc_obs::trace::flush_thread();
+            });
+        }
+    });
+
+    let intervals: Vec<IntervalSample> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every period ran"))
+        .collect();
+    assemble_report(plan, warmup, measured, intervals)
+}
+
+/// Replays the initial functional-warmup window on `sim` and captures
+/// the base checkpoint every period of a skipping plan restores.
+/// Functional replay never touches timing state, so the engine is
+/// already quiescent when the checkpoint is captured — capture changes
+/// nothing, which is what makes sequential and parallel runs agree
+/// bit-for-bit.
+pub fn build_base(
+    sim: &mut Simulation,
+    records: &[TraceRecord],
+    warmup: u64,
+    measured: u64,
+    plan: &SamplePlan,
+) -> Checkpoint {
+    if let Err(e) = plan.validate() {
+        panic!("invalid sample plan: {e}");
+    }
+    let layout = PlanLayout::of(plan, warmup, measured);
+    let _span = fc_obs::trace::span("functional-warmup", "sample");
+    let start = (warmup - layout.window) as usize;
+    for r in &records[start..warmup as usize] {
+        sim.step_functional(r);
+    }
+    sim.checkpoint()
+}
+
+/// One period's work: clone the base, replay the period's own
+/// functional warmup, then detailed warmup, then the measured
+/// interval — returning the interval's counter deltas. This is the
+/// same pure function the sequential checkpointed driver computes,
+/// so dispatching periods across workers cannot change the report.
+/// `records` must be the same full slice `build_base` saw (absolute
+/// indexing).
+pub fn run_interval(
+    base: &Checkpoint,
+    records: &[TraceRecord],
+    warmup: u64,
+    measured: u64,
+    plan: &SamplePlan,
+    k: u64,
+) -> IntervalSample {
+    let layout = PlanLayout::of(plan, warmup, measured);
+    let mut sim = base.to_sim();
+    fc_obs::metrics::counter("pit.checkpoints_restored").inc();
+    let warm_start = layout.warm_start(plan, warmup, k) as usize;
+    let fw_end = warm_start + plan.functional_warmup as usize;
+    let dw_end = fw_end + plan.detail_warmup as usize;
+    let iv_end = dw_end + plan.interval as usize;
+    {
+        let _span = fc_obs::trace::span("functional-warmup", "sample");
+        for r in &records[warm_start..fw_end] {
+            sim.step_functional(r);
+        }
+    }
+    {
+        let _span = fc_obs::trace::span("detailed-warmup", "sample");
+        for r in &records[fw_end..dw_end] {
+            sim.step(r);
+        }
+    }
+    let snapshot = sim.snapshot();
+    let delta = {
+        let _span = fc_obs::trace::span("measured", "sample");
+        for r in &records[dw_end..iv_end] {
+            sim.step(r);
+        }
+        SimReport::since(&sim, &snapshot)
+    };
+    IntervalSample::from_report(k, layout.interval_start(plan, warmup, k), &delta)
+}
+
+/// Merges per-period interval samples (in plan order) into the final
+/// [`SampledReport`], with work accounting identical to the
+/// sequential driver's — the report is a pure function of the plan,
+/// the run sizing, and the samples, regardless of who computed them.
+pub fn assemble_report(
+    plan: &SamplePlan,
+    warmup: u64,
+    measured: u64,
+    intervals: Vec<IntervalSample>,
+) -> SampledReport {
+    let layout = PlanLayout::of(plan, warmup, measured);
+    let per_period = plan.functional_warmup + plan.detail_warmup + plan.interval;
+    let replayed = layout.window + layout.periods * per_period;
+    let detailed = layout.periods * (plan.detail_warmup + plan.interval);
+    fc_obs::metrics::counter("sample.runs").inc();
+    fc_obs::metrics::counter("sample.intervals").add(layout.periods);
+    fc_obs::metrics::counter("sample.records.replayed").add(replayed);
+    fc_obs::metrics::counter("sample.records.detailed").add(detailed);
+    fc_obs::metrics::counter("sample.records.skipped").add(warmup + measured - replayed);
+    SampledReport::aggregate(*plan, warmup + measured, replayed, detailed, intervals)
+}
+
+/// Reconstructs, from scratch, the engine state a parallel-in-time
+/// worker holds at the start of period `k`'s detailed warmup: a fresh
+/// simulation that replays only the functional-warmup prefix (the
+/// initial window, a checkpoint round-trip, then period `k`'s own
+/// functional warmup). Useful for spot-checking a single interval
+/// without running the periods before it.
+///
+/// # Panics
+///
+/// Panics if `k` is outside the plan's measured periods or the slice
+/// is shorter than `warmup + measured`.
+pub fn fresh_at(
+    config: SimConfig,
+    design: DesignSpec,
+    records: &[TraceRecord],
+    warmup: u64,
+    measured: u64,
+    plan: &SamplePlan,
+    k: u64,
+) -> Simulation {
+    assert!(
+        records.len() as u64 >= warmup + measured,
+        "slice holds {} records but the run needs {}",
+        records.len(),
+        warmup + measured
+    );
+    let layout = PlanLayout::of(plan, warmup, measured);
+    assert!(
+        k < layout.periods,
+        "period {k} out of range ({} measured periods)",
+        layout.periods
+    );
+    let mut sim = Simulation::new(config, design);
+    let start = (warmup - layout.window) as usize;
+    for r in &records[start..warmup as usize] {
+        sim.step_functional(r);
+    }
+    let mut sim = if plan.skip() > 0 {
+        // The same checkpoint round-trip every worker performs.
+        sim.checkpoint().to_sim()
+    } else {
+        sim
+    };
+    let warm_start = layout.warm_start(plan, warmup, k) as usize;
+    let fw_end = warm_start + plan.functional_warmup as usize;
+    for r in &records[warm_start..fw_end] {
+        sim.step_functional(r);
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_trace::{TraceGenerator, WorkloadKind};
+
+    fn records(n: usize) -> Vec<TraceRecord> {
+        TraceGenerator::new(WorkloadKind::WebSearch, 4, 7)
+            .take(n)
+            .collect()
+    }
+
+    fn sim() -> Simulation {
+        Simulation::new(SimConfig::small(), DesignSpec::footprint(64))
+    }
+
+    // A skipping plan: period 4000, fw 600, dw 200, interval 200 →
+    // skip() = 3000 > 0, so the checkpointed/parallel path engages.
+    fn skipping_plan() -> SamplePlan {
+        SamplePlan::new(4_000, 600, 200, 200).with_warmup_window(2_000)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let rs = records(30_000);
+        let plan = skipping_plan();
+        let seq = run_sampled(&mut sim(), &rs, 6_000, 24_000, &plan);
+        for workers in [2, 3, 8] {
+            let pit = run_sampled_pit(&mut sim(), &rs, 6_000, 24_000, &plan, workers);
+            assert_eq!(seq, pit, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn single_worker_delegates_to_sequential() {
+        let rs = records(30_000);
+        let plan = skipping_plan();
+        let seq = run_sampled(&mut sim(), &rs, 6_000, 24_000, &plan);
+        let one = run_sampled_pit(&mut sim(), &rs, 6_000, 24_000, &plan, 1);
+        assert_eq!(seq, one);
+    }
+
+    #[test]
+    fn exhaustive_plans_delegate_to_sequential() {
+        let rs = records(12_000);
+        let plan = SamplePlan::exhaustive(2_000, 200, 200);
+        let seq = run_sampled(&mut sim(), &rs, 2_000, 10_000, &plan);
+        let pit = run_sampled_pit(&mut sim(), &rs, 2_000, 10_000, &plan, 4);
+        assert_eq!(seq, pit);
+        assert_eq!(pit.replayed_records, 12_000);
+    }
+
+    #[test]
+    fn fresh_at_matches_worker_state() {
+        let rs = records(30_000);
+        let plan = skipping_plan();
+        let layout = PlanLayout::of(&plan, 6_000, 24_000);
+        // Build the base the way the parallel driver does, run period
+        // k's functional warmup, and compare against fresh_at.
+        let mut s = sim();
+        let start = (6_000 - layout.window) as usize;
+        for r in &rs[start..6_000] {
+            s.step_functional(r);
+        }
+        let base = s.checkpoint();
+        for k in [0u64, 2, 5] {
+            let mut worker = base.to_sim();
+            let ws = layout.warm_start(&plan, 6_000, k) as usize;
+            for r in &rs[ws..ws + plan.functional_warmup as usize] {
+                worker.step_functional(r);
+            }
+            let fresh = fresh_at(
+                SimConfig::small(),
+                DesignSpec::footprint(64),
+                &rs,
+                6_000,
+                24_000,
+                &plan,
+                k,
+            );
+            let zero = fc_sim::ReportSnapshot::zero();
+            assert_eq!(
+                SimReport::since(&worker, &zero),
+                SimReport::since(&fresh, &zero),
+                "fresh_at({k}) diverged from worker state"
+            );
+        }
+    }
+}

@@ -16,6 +16,49 @@ trait Source {
     fn replay(&mut self, n: u64, step: &mut dyn FnMut(&TraceRecord));
 }
 
+/// Per-period record layout of a plan over a run, shared by the
+/// sequential driver and the parallel-in-time dispatcher so both walk
+/// byte-identical record positions.
+///
+/// Each period is `[lead skip | functional warmup | detailed warmup |
+/// measured interval | trail skip]`, with the interval *centered* in
+/// its period as far as the warmup segments allow.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PlanLayout {
+    /// Functional records replayed at the end of the initial warmup.
+    pub window: u64,
+    /// Skipped records at the start of each period.
+    pub lead: u64,
+    /// Skipped records at the end of each period.
+    pub trail: u64,
+    /// Measured intervals (periods) in the run.
+    pub periods: u64,
+}
+
+impl PlanLayout {
+    pub fn of(plan: &SamplePlan, warmup: u64, measured: u64) -> Self {
+        let warm = plan.functional_warmup + plan.detail_warmup;
+        let lead = ((plan.period - plan.interval) / 2).saturating_sub(warm);
+        Self {
+            window: plan.warmup_window.min(warmup),
+            lead,
+            trail: plan.period - lead - warm - plan.interval,
+            periods: plan.intervals_in(measured),
+        }
+    }
+
+    /// Absolute record index where period `k`'s functional warmup
+    /// starts (= where a checkpointed period resumes replaying).
+    pub fn warm_start(&self, plan: &SamplePlan, warmup: u64, k: u64) -> u64 {
+        warmup + k * plan.period + self.lead
+    }
+
+    /// Absolute record index of period `k`'s first *measured* record.
+    pub fn interval_start(&self, plan: &SamplePlan, warmup: u64, k: u64) -> u64 {
+        self.warm_start(plan, warmup, k) + plan.functional_warmup + plan.detail_warmup
+    }
+}
+
 struct SliceSource<'a> {
     records: &'a [TraceRecord],
     pos: usize,
@@ -115,13 +158,13 @@ fn drive(
 
     // Initial warmup region: skip everything except the trailing
     // functional window.
-    let window = plan.warmup_window.min(warmup);
-    source.skip(warmup - window);
+    let layout = PlanLayout::of(plan, warmup, measured);
+    source.skip(warmup - layout.window);
     {
         let _span = fc_obs::trace::span("functional-warmup", "sample");
-        source.replay(window, &mut |r| sim.step_functional(r));
+        source.replay(layout.window, &mut |r| sim.step_functional(r));
     }
-    replayed += window;
+    replayed += layout.window;
 
     // Measured region: one interval per period, *centered* in its
     // period (as far as the warmup segments allow). Centering makes the
@@ -129,13 +172,38 @@ fn drive(
     // linear trend across the region (a cache still converging) cannot
     // bias the estimates — end-of-period placement would sample half a
     // period late on average.
-    let warm = plan.functional_warmup + plan.detail_warmup;
-    let lead = ((plan.period - plan.interval) / 2).saturating_sub(warm);
-    let trail = plan.period - lead - warm - plan.interval;
-    let periods = plan.intervals_in(measured);
+    //
+    // Two execution modes, chosen by the plan:
+    //
+    // * **Continuous** (`plan.skip() == 0`, exhaustive plans): state is
+    //   carried straight through — every record runs detailed, so the
+    //   measured intervals tile the region with zero staleness.
+    // * **Checkpointed** (skipping plans): a base checkpoint is captured
+    //   right after the warmup window — while the engine is still
+    //   quiescent from functional replay, so capture changes nothing —
+    //   and every period restores it before replaying its own
+    //   functional warmup. Each period is thus a pure function of
+    //   (base, period records): it no longer sees the detailed/warmed
+    //   state of earlier periods, which is exactly what lets the
+    //   parallel-in-time dispatcher run periods on different workers
+    //   and still produce bit-identical reports. The per-period
+    //   functional warmup was always sized (to the design's turnover)
+    //   to repair staleness across the skipped gap; restoring the base
+    //   makes that the *only* warmth source, identically in sequential
+    //   and parallel runs.
+    let periods = layout.periods;
     let mut intervals = Vec::with_capacity(periods as usize);
+    let base = if plan.skip() > 0 {
+        Some(sim.checkpoint())
+    } else {
+        None
+    };
     for k in 0..periods {
-        source.skip(lead);
+        source.skip(layout.lead);
+        if let Some(base) = &base {
+            sim.restore(base);
+            fc_obs::metrics::counter("sample.checkpoints_restored").inc();
+        }
         {
             let _span = fc_obs::trace::span("functional-warmup", "sample");
             source.replay(plan.functional_warmup, &mut |r| sim.step_functional(r));
@@ -152,15 +220,15 @@ fn drive(
         // expectation.
         let snapshot = sim.snapshot();
         let delta = {
-            let _span = fc_obs::trace::span("measure-interval", "sample");
+            let _span = fc_obs::trace::span("measured", "sample");
             source.replay(plan.interval, &mut |r| sim.step(r));
             SimReport::since(sim, &snapshot)
         };
-        let start_record = warmup + k * plan.period + lead + warm;
+        let start_record = layout.interval_start(plan, warmup, k);
         intervals.push(IntervalSample::from_report(k, start_record, &delta));
-        replayed += warm + plan.interval;
+        replayed += plan.functional_warmup + plan.detail_warmup + plan.interval;
         detailed += plan.detail_warmup + plan.interval;
-        source.skip(trail);
+        source.skip(layout.trail);
     }
     // The measured tail shorter than one period is not replayed; the
     // systematic frame covers `periods * period` records.

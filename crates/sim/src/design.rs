@@ -590,7 +590,7 @@ impl DesignSpec {
 
     /// Instantiates the design's cache model and DRAM systems.
     pub fn build(&self) -> MemorySystem {
-        let cache: Box<dyn fc_cache::DramCacheModel + Send> = match self.cache {
+        let cache: Box<dyn fc_cache::DramCacheModel + Send + Sync> = match self.cache {
             CacheSpec::None => Box::new(NoCache::new()),
             CacheSpec::Ideal => Box::new(IdealCache::new()),
             CacheSpec::Block { mb } => Box::new(BlockBasedCache::new(mb << 20)),

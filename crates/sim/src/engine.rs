@@ -80,10 +80,47 @@ impl CoreState {
     }
 }
 
+/// A checkpoint of a whole pod simulation, captured at a *quiesced*
+/// point: all capacity state (L2, DRAM-cache design metadata) and every
+/// monotone counter, with the timing plane (core clocks, MSHRs, DRAM
+/// bank/bus/queue reservations) realigned to the functional reference
+/// clock (`time == insts`, nothing in flight).
+///
+/// **Bit-equality guarantee:** a simulation that has only ever been
+/// driven through the functional path is already quiesced, so capturing
+/// it and [`restoring`](Simulation::restore) elsewhere reproduces its
+/// exact state — subsequent identical replays yield identical
+/// [`SimReport`](crate::SimReport) deltas. This is what lets the
+/// parallel-in-time sampler (`fc-sample`) dispatch measured intervals
+/// to workers and still merge bit-identical results at any worker
+/// count. Capturing mid-detailed-run is also deterministic, but the
+/// quiescing discards in-flight timing, so deltas then match a
+/// quiesced re-run, not the uninterrupted one.
+#[derive(Clone)]
+pub struct Checkpoint {
+    state: Simulation,
+}
+
+impl Checkpoint {
+    /// Captures `sim` (clone + [`quiesce`](Simulation::quiesce)).
+    pub fn capture(sim: &Simulation) -> Self {
+        let mut state = sim.clone();
+        state.quiesce();
+        Self { state }
+    }
+
+    /// Materializes an independent simulation resuming from this
+    /// checkpoint.
+    pub fn to_sim(&self) -> Simulation {
+        self.state.clone()
+    }
+}
+
 /// A configured pod simulation: cores + L2 + memory system.
 ///
 /// Drive it with [`run_workload`](Simulation::run_workload) (synthesizes
 /// the trace internally) or [`run_records`](Simulation::run_records).
+#[derive(Clone)]
 pub struct Simulation {
     config: SimConfig,
     design: DesignSpec,
@@ -194,6 +231,35 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// Quiesces the timing plane: each core's clock realigns to the
+    /// functional reference (`time = insts` — both advance by exactly
+    /// the instruction gap under functional replay), MSHRs empty
+    /// without folding their latency into the clock, and the memory
+    /// system's window/channel reservations reset. All capacity state
+    /// and every monotone counter are untouched.
+    ///
+    /// A simulation driven only through
+    /// [`step_functional`](Simulation::step_functional) is already in
+    /// this state, so quiescing at functional boundaries is a no-op —
+    /// the property the checkpointed sampling path builds on.
+    pub fn quiesce(&mut self) {
+        for core in &mut self.cores {
+            core.time = core.insts;
+            core.outstanding.clear();
+        }
+        self.memsys.quiesce();
+    }
+
+    /// Captures a [`Checkpoint`] of this simulation (quiesced).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(self)
+    }
+
+    /// Replaces this simulation's entire state with `checkpoint`'s.
+    pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        *self = checkpoint.to_sim();
     }
 
     /// Aggregate committed instructions across cores.

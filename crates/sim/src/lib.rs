@@ -55,7 +55,7 @@ pub use fc_types::json;
 
 pub use config::SimConfig;
 pub use design::{CacheSpec, DesignSpec, DramPreset, DramSpec};
-pub use engine::Simulation;
+pub use engine::{Checkpoint, Simulation};
 pub use memsys::{MemorySystem, MemsysTimeline};
 pub use registry::{design_family, resolve_designs, DesignFamily, DESIGN_FAMILIES};
 pub use report::{

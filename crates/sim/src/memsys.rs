@@ -40,6 +40,12 @@ impl RequestWindow {
     fn retire(&mut self, done: u64) {
         self.queue.push(done);
     }
+
+    /// Forgets in-flight completions (checkpoint quiescing); the
+    /// stall/admission counters are kept.
+    fn quiesce(&mut self) {
+        self.queue.reset();
+    }
 }
 
 /// Per-interval memory-system time series, compiled in only with
@@ -110,8 +116,9 @@ impl MemsysTimeline {
 }
 
 /// A complete pod memory system below the L2.
+#[derive(Clone)]
 pub struct MemorySystem {
-    cache: Box<dyn DramCacheModel + Send>,
+    cache: Box<dyn DramCacheModel + Send + Sync>,
     stacked: Option<DramSystem>,
     offchip: DramSystem,
     window: RequestWindow,
@@ -127,7 +134,7 @@ impl MemorySystem {
     /// Assembles a memory system. `stacked` is `None` for the baseline
     /// (no die-stacked DRAM).
     pub fn new(
-        cache: Box<dyn DramCacheModel + Send>,
+        cache: Box<dyn DramCacheModel + Send + Sync>,
         stacked: Option<DramConfig>,
         offchip: DramConfig,
     ) -> Self {
@@ -157,7 +164,7 @@ impl MemorySystem {
     }
 
     /// The cache design.
-    pub fn cache(&self) -> &(dyn DramCacheModel + Send) {
+    pub fn cache(&self) -> &(dyn DramCacheModel + Send + Sync) {
         self.cache.as_ref()
     }
 
@@ -212,6 +219,21 @@ impl MemorySystem {
     /// dirty state moves, no DRAM timing happens.
     pub fn warm_writeback(&mut self, addr: PhysAddr) {
         self.cache.warm_writeback(addr);
+    }
+
+    /// Quiesces all timing state below the L2: the outstanding-request
+    /// window and every DRAM channel's bank/bus/queue reservations
+    /// reset to their freshly built values. Capacity state (the cache
+    /// design's tags, metadata, predictors) and every monotone counter
+    /// are untouched. Part of the checkpoint contract: a memory system
+    /// driven only through the `warm_*` paths is already quiesced, so
+    /// quiescing there is a no-op.
+    pub fn quiesce(&mut self) {
+        self.window.quiesce();
+        if let Some(stacked) = &mut self.stacked {
+            stacked.quiesce();
+        }
+        self.offchip.quiesce();
     }
 
     /// An L2 dirty-victim writeback arriving at cycle `at` (never stalls

@@ -63,7 +63,9 @@ pub use executor::{SweepEngine, SweepResult};
 pub use loaded::{run_loaded, LoadedGrid, LoadedResult};
 pub use mix::{run_mix, MixGrid, MixPoint, MixResult};
 pub use progress::{Progress, ProgressSink};
-pub use sampled::{run_sampled_grid, SampledGrid, SampledPoint, SampledResult};
+pub use sampled::{
+    run_sampled_grid, run_sampled_grid_pit, SampledGrid, SampledPoint, SampledResult,
+};
 pub use scale::RunScale;
 pub use spec::{SweepPoint, SweepSpec};
 pub use store::{PointKey, ResultStore};

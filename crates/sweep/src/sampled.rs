@@ -16,12 +16,16 @@
 //! skipping only in the long-trace regime, exhaustive warming when
 //! the trace is too short to skip safely.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use fc_sample::{run_sampled, run_sampled_stream, SamplePlan, SampledReport};
+use fc_sample::{
+    assemble_report, build_base, run_interval, run_sampled, run_sampled_stream, Checkpoint,
+    IntervalSample, SamplePlan, SampledReport,
+};
 use fc_sim::Simulation;
-use fc_trace::TraceGenerator;
+use fc_trace::{TraceGenerator, TraceRecord};
 
 use crate::executor::SweepEngine;
 use crate::spec::{SweepPoint, SweepSpec};
@@ -156,9 +160,12 @@ pub struct SampledResult {
     pub point: SampledPoint,
     /// Its (possibly memoized) sampled report.
     pub report: Arc<SampledReport>,
-    /// Wall-clock seconds this worker spent obtaining the report
-    /// (near zero for memoized points). Timing only — never part of
-    /// the deterministic result.
+    /// Seconds spent obtaining the report (near zero for memoized
+    /// points): one worker's wall clock on the sequential path, the
+    /// summed per-worker busy time for a parallel-in-time point (its
+    /// wall span would mostly measure *other* points interleaved in
+    /// the shared pool). Timing only — never part of the
+    /// deterministic result.
     pub sim_secs: f64,
     /// Whether the report came from the sampled memo store.
     pub memoized: bool,
@@ -254,6 +261,224 @@ pub fn run_sampled_grid(grid: &SampledGrid, engine: &SweepEngine) -> Vec<Sampled
         .collect()
 }
 
+/// One unit of work in the nested parallel-in-time pool: either a
+/// whole grid point (which may expand into interval tasks) or one
+/// measured period of an already-expanded point.
+enum PitTask {
+    Point(usize),
+    Interval { point: usize, k: u64 },
+}
+
+/// Shared state of a point that expanded into interval tasks: the base
+/// checkpoint every period restores, the point's trace slice (one
+/// synthesis, shared by every worker via `Arc`), the per-period result
+/// slots, and the countdown that elects the aggregating worker.
+struct PointWork {
+    base: Checkpoint,
+    records: Arc<Vec<TraceRecord>>,
+    slots: Vec<OnceLock<IntervalSample>>,
+    remaining: AtomicUsize,
+    /// CPU time spent on this point across all workers (base build +
+    /// every interval), in nanoseconds. This — not wall time from
+    /// expansion to completion — becomes the point's `sim_secs`:
+    /// interval tasks of *different* points interleave in one pool, so
+    /// a point's wall span mostly measures other points' work. Busy
+    /// time keeps per-point costs comparable with the sequential
+    /// executor's (equal on one core, and a work measure on many).
+    busy_nanos: std::sync::atomic::AtomicU64,
+}
+
+/// Runs every point of `grid` with **parallel-in-time** dispatch:
+/// points *and* their measured periods drain from one shared pool, so
+/// a single long point keeps every worker busy instead of one. Points
+/// whose plan cannot be split (exhaustive plans carry state through
+/// the whole region) and points beyond the trace-cache budget
+/// (workers need random access into the slice) run sequentially
+/// inside the pool, so the result always covers the whole grid.
+///
+/// Reports are **bit-identical** to [`run_sampled_grid`]'s for every
+/// `workers` count: interval samples merge in plan order through the
+/// same aggregation, and both paths compute the same pure per-period
+/// function from the same base checkpoint. Memoization therefore
+/// shares one store with the sequential path.
+pub fn run_sampled_grid_pit(
+    grid: &SampledGrid,
+    engine: &SweepEngine,
+    workers: usize,
+) -> Vec<SampledResult> {
+    let points = grid.points();
+    let progress = engine.progress_for(points.len());
+    let final_slots: Vec<OnceLock<(Arc<SampledReport>, f64, bool)>> =
+        points.iter().map(|_| OnceLock::new()).collect();
+    let works: Vec<OnceLock<PointWork>> = points.iter().map(|_| OnceLock::new()).collect();
+    let queue: Mutex<VecDeque<PitTask>> =
+        Mutex::new((0..points.len()).map(PitTask::Point).collect());
+    let ready = Condvar::new();
+    let pending = AtomicUsize::new(points.len());
+
+    // Finishing a point: record its result, tick progress, and wake
+    // any workers parked on an empty queue once the last point lands.
+    // The wakeup must happen while holding the queue lock — a worker
+    // checks "queue empty && pending > 0" under that lock before
+    // waiting, so notifying under it cannot race with the check.
+    let finish = |index: usize, report: Arc<SampledReport>, secs: f64, memoized: bool| {
+        final_slots[index]
+            .set((report, secs, memoized))
+            .expect("point finished once");
+        progress.finish_point(&points[index].label(), memoized);
+        if pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = queue.lock().expect("pit queue");
+            ready.notify_all();
+        }
+    };
+
+    let run_point = |index: usize| {
+        let sp = &points[index];
+        let _point_span = fc_obs::trace::span_with("sampled-point", "sweep", || sp.label());
+        let key = sp.key();
+        let started = std::time::Instant::now();
+        if let Some(report) = engine.sampled_store().get(&key) {
+            finish(index, report, started.elapsed().as_secs_f64(), true);
+            return;
+        }
+        let p = &sp.point;
+        let (warmup, measured) = (p.warmup(), p.measured());
+        let records =
+            engine
+                .trace_cache()
+                .records(p.workload, p.config.cores, p.seed(), warmup + measured);
+        let periods = sp.plan.intervals_in(measured);
+        match records {
+            // Splittable: build the base checkpoint, then fan the
+            // periods out as interval tasks for any worker to claim.
+            Some(records) if sp.plan.skip() > 0 && periods > 0 => {
+                let mut sim = Simulation::new(p.config, p.design);
+                let base = build_base(&mut sim, &records, warmup, measured, &sp.plan);
+                fc_obs::metrics::counter("pit.intervals_dispatched").add(periods);
+                let work = PointWork {
+                    base,
+                    records,
+                    slots: (0..periods).map(|_| OnceLock::new()).collect(),
+                    remaining: AtomicUsize::new(periods as usize),
+                    busy_nanos: std::sync::atomic::AtomicU64::new(
+                        started.elapsed().as_nanos() as u64
+                    ),
+                };
+                assert!(works[index].set(work).is_ok(), "point expanded once");
+                let mut q = queue.lock().expect("pit queue");
+                q.extend((0..periods).map(|k| PitTask::Interval { point: index, k }));
+                ready.notify_all();
+            }
+            // Unsplittable (continuous plan, streaming fallback, or a
+            // degenerate region): run the whole point on this worker,
+            // exactly as the sequential grid executor would.
+            records => {
+                let report = engine.sampled_store().get_or_compute(&key, || {
+                    let mut sim = Simulation::new(p.config, p.design);
+                    match records {
+                        Some(records) => {
+                            run_sampled(&mut sim, &records, warmup, measured, &sp.plan)
+                        }
+                        None => run_sampled_stream(
+                            &mut sim,
+                            TraceGenerator::new(p.workload, p.config.cores, p.seed()),
+                            warmup,
+                            measured,
+                            &sp.plan,
+                        ),
+                    }
+                });
+                finish(index, report, started.elapsed().as_secs_f64(), false);
+            }
+        }
+    };
+
+    let run_interval_task = |index: usize, k: u64| {
+        let sp = &points[index];
+        let work = works[index].get().expect("point expanded before intervals");
+        let started = std::time::Instant::now();
+        let sample = run_interval(
+            &work.base,
+            &work.records,
+            sp.point.warmup(),
+            sp.point.measured(),
+            &sp.plan,
+            k,
+        );
+        work.slots[k as usize]
+            .set(sample)
+            .expect("slot written once");
+        work.busy_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // The countdown elects the worker that finishes the point: the
+        // last decrement observes every other slot write and busy-time
+        // contribution (AcqRel).
+        if work.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let intervals: Vec<IntervalSample> = work
+                .slots
+                .iter()
+                .map(|slot| *slot.get().expect("every interval ran"))
+                .collect();
+            let report = engine.sampled_store().get_or_compute(&sp.key(), || {
+                assemble_report(&sp.plan, sp.point.warmup(), sp.point.measured(), intervals)
+            });
+            let secs = work.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+            finish(index, report, secs, false);
+        }
+    };
+
+    // No upper clamp against the point count: one point can fan out
+    // into many interval tasks, so more workers than points is useful.
+    let worker_count = workers.max(1);
+    std::thread::scope(|scope| {
+        let (run_point, run_interval_task, queue, ready, pending) =
+            (&run_point, &run_interval_task, &queue, &ready, &pending);
+        for worker in 0..worker_count {
+            scope.spawn(move || {
+                fc_obs::trace::set_lane_name(&format!("worker-{worker}"));
+                loop {
+                    let task = {
+                        let mut q = queue.lock().expect("pit queue");
+                        loop {
+                            if let Some(task) = q.pop_front() {
+                                break Some(task);
+                            }
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break None;
+                            }
+                            q = ready.wait(q).expect("pit queue");
+                        }
+                    };
+                    match task {
+                        Some(PitTask::Point(index)) => run_point(index),
+                        Some(PitTask::Interval { point, k }) => run_interval_task(point, k),
+                        None => break,
+                    }
+                }
+                // Explicit: a scoped join may land before TLS
+                // destructors run, so the trace buffer drains here.
+                fc_obs::trace::flush_thread();
+            });
+        }
+    });
+    progress.finish_run();
+    fc_obs::metrics::counter("sweep.sampled_points").add(points.len() as u64);
+
+    points
+        .iter()
+        .zip(final_slots)
+        .map(|(point, slot)| {
+            let (report, sim_secs, memoized) = slot.into_inner().expect("every point ran");
+            SampledResult {
+                point: *point,
+                report,
+                sim_secs,
+                memoized,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +547,95 @@ mod tests {
                 .quiet(),
         );
         for (a, b) in cached.iter().zip(&streamed) {
+            assert_eq!(*a.report, *b.report, "{}", a.point.label());
+        }
+    }
+
+    // A grid whose plans actually skip (period 1000, fw 200, dw 100,
+    // interval 100 → skip 600), so the PIT path expands points into
+    // interval tasks instead of delegating.
+    fn skipping_grid() -> SampledGrid {
+        let spec = SweepSpec::new(RunScale::tiny()).grid(
+            &[WorkloadKind::WebSearch, WorkloadKind::DataServing],
+            &[DesignSpec::baseline(), DesignSpec::footprint(64)],
+        );
+        SampledGrid::with_plan(
+            &spec,
+            SamplePlan::new(1_000, 200, 100, 100).with_warmup_window(1_000),
+        )
+    }
+
+    #[test]
+    fn pit_grid_is_bit_identical_to_sequential_at_any_worker_count() {
+        let grid = skipping_grid();
+        let seq = run_sampled_grid(&grid, &SweepEngine::new().with_threads(1).quiet());
+        for workers in [1, 2, 5, 9] {
+            let pit = run_sampled_grid_pit(&grid, &SweepEngine::new().quiet(), workers);
+            for (a, b) in seq.iter().zip(&pit) {
+                assert_eq!(a.point, b.point);
+                assert_eq!(
+                    *a.report,
+                    *b.report,
+                    "{} diverged at {workers} workers",
+                    a.point.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pit_grid_handles_unsplittable_points_in_pool() {
+        // Exhaustive plans can't split in time; the PIT pool must run
+        // them sequentially and still match the plain executor.
+        let grid = tiny_grid();
+        let seq = run_sampled_grid(&grid, &SweepEngine::new().with_threads(1).quiet());
+        let pit = run_sampled_grid_pit(&grid, &SweepEngine::new().quiet(), 4);
+        for (a, b) in seq.iter().zip(&pit) {
+            assert_eq!(*a.report, *b.report, "{}", a.point.label());
+        }
+    }
+
+    #[test]
+    fn pit_grid_shares_one_synthesis_per_workload() {
+        let grid = skipping_grid();
+        // Interval tasks must reuse the point's Arc'd slice, never
+        // re-synthesize: fanning out across workers synthesizes
+        // exactly as many records as a lone sequential worker.
+        let seq_engine = SweepEngine::new().with_threads(1).quiet();
+        run_sampled_grid(&grid, &seq_engine);
+        let pit_engine = SweepEngine::new().quiet();
+        run_sampled_grid_pit(&grid, &pit_engine, 6);
+        assert_eq!(
+            pit_engine.trace_cache().records_synthesized(),
+            seq_engine.trace_cache().records_synthesized(),
+            "interval workers re-synthesized trace records"
+        );
+    }
+
+    #[test]
+    fn pit_grid_memoizes_into_the_shared_store() {
+        let grid = skipping_grid();
+        let engine = SweepEngine::new().quiet();
+        let first = run_sampled_grid_pit(&grid, &engine, 4);
+        assert_eq!(engine.sampled_store().computed(), 4);
+        // Second PIT run: every point short-circuits on the memo.
+        let again = run_sampled_grid_pit(&grid, &engine, 4);
+        assert_eq!(engine.sampled_store().computed(), 4);
+        assert!(again.iter().all(|r| r.memoized));
+        // The sequential path reads the same store — same keys.
+        let seq = run_sampled_grid(&grid, &engine);
+        assert_eq!(engine.sampled_store().computed(), 4);
+        for (a, b) in first.iter().zip(&seq) {
+            assert!(Arc::ptr_eq(&a.report, &b.report));
+        }
+    }
+
+    #[test]
+    fn pit_grid_streaming_fallback_covers_the_grid() {
+        let grid = skipping_grid();
+        let seq = run_sampled_grid(&grid, &SweepEngine::new().with_threads(1).quiet());
+        let pit = run_sampled_grid_pit(&grid, &SweepEngine::new().with_trace_budget(0).quiet(), 4);
+        for (a, b) in seq.iter().zip(&pit) {
             assert_eq!(*a.report, *b.report, "{}", a.point.label());
         }
     }
