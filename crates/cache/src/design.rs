@@ -79,6 +79,12 @@ impl DensityHistogram {
         self.bins
     }
 
+    /// Rebuilds a histogram from raw bin counts (the inverse of
+    /// [`bins`](Self::bins); used when loading persisted reports).
+    pub fn from_bins(bins: [u64; 6]) -> Self {
+        Self { bins }
+    }
+
     /// Bin fractions summing to 1 (all zeros if nothing recorded).
     pub fn fractions(&self) -> [f64; 6] {
         let total: u64 = self.bins.iter().sum();

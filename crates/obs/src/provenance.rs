@@ -36,6 +36,9 @@ pub struct Provenance {
     pub points: Option<usize>,
     /// Wall-clock duration of the run, in seconds.
     pub wall_secs: Option<f64>,
+    /// Generation of the durable result store the run read from
+    /// (bumped on quarantine/resize), when one was attached.
+    pub store_generation: Option<u64>,
 }
 
 impl Provenance {
@@ -59,6 +62,7 @@ impl Provenance {
             designs: Vec::new(),
             points: None,
             wall_secs: None,
+            store_generation: None,
         }
     }
 
@@ -106,6 +110,10 @@ impl Provenance {
             Some(w) => format!("\"wall_secs\": {}", json_num(w)),
             None => "\"wall_secs\": null".to_string(),
         });
+        fields.push(match self.store_generation {
+            Some(g) => format!("\"store_generation\": {g}"),
+            None => "\"store_generation\": null".to_string(),
+        });
         format!("{{{}}}", fields.join(", "))
     }
 }
@@ -137,6 +145,7 @@ mod tests {
         p.designs = vec!["fc-3.0".to_string(), "ideal".to_string()];
         p.points = Some(12);
         p.wall_secs = Some(1.5);
+        p.store_generation = Some(3);
         let json = p.to_json();
         for needle in [
             "\"tool\": \"fc_sweep\"",
@@ -149,6 +158,7 @@ mod tests {
             "\"designs\": [\"fc-3.0\", \"ideal\"]",
             "\"points\": 12",
             "\"wall_secs\": 1.5",
+            "\"store_generation\": 3",
             "\"version\": ",
             "\"features\": ",
         ] {
@@ -163,5 +173,6 @@ mod tests {
         assert!(json.contains("\"seed\": null"));
         assert!(json.contains("\"pit_workers\": null"));
         assert!(json.contains("\"wall_secs\": null"));
+        assert!(json.contains("\"store_generation\": null"));
     }
 }

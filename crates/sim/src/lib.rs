@@ -62,6 +62,11 @@ pub use report::{
     consolidation, ConsolidationReport, CorePerf, EnergyReport, ReportSnapshot, SimReport,
 };
 
+// The stat types embedded in `SimReport`, re-exported so downstream
+// crates (the sweep layer's durable store) can rebuild reports from
+// persisted form without depending on fc-cache directly.
+pub use fc_cache::{DensityHistogram, DramCacheStats, PredictionCounters};
+
 // Scenario mixes are described in `fc_trace` (they are workload data);
 // re-exported here because the registry/JSON layer is where sweep
 // callers look for spec types.

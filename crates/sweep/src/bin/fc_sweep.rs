@@ -21,7 +21,23 @@ use fc_sweep::{
 };
 
 const USAGE: &str = "\
-usage: fc_sweep [options]
+usage: fc_sweep [serve] [options]
+
+serve mode (long-running, no network):
+  serve              read grid requests as JSONL from stdin (or a spool
+                     directory with --spool), diff each against the
+                     result store, simulate only what's missing, and
+                     stream point + summary responses as JSONL on stdout
+  --spool DIR        serve requests from DIR/*.json instead of stdin;
+                     responses land atomically in DIR/done/<name>.jsonl
+  --serve-once       with --spool: answer the requests currently in the
+                     spool, then exit (instead of polling forever)
+
+options:
+  --store DIR        back the result store with durable shard files in
+                     DIR (consistent-hash ring; results persist across
+                     runs, and previously computed points are recalled
+                     instead of re-simulated)
   --grid NAME        preset grid (see --list-grids): fig4 | fig5 | fig67
                      | designspace | loaded | mix | sampled (default
                      fig4; `sampled` is the designspace grid run through
@@ -186,9 +202,9 @@ fn print_scenario_catalogue() {
 }
 
 fn write_file(path: &str, contents: &str) {
-    let mut f =
-        std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
-    f.write_all(contents.as_bytes())
+    // Atomic (temp + rename): a kill mid-write never leaves a
+    // truncated artifact where a previous good one stood.
+    fc_types::atomic_write(std::path::Path::new(path), contents.as_bytes())
         .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
     eprintln!("[fc_sweep] wrote {path}");
 }
@@ -919,6 +935,10 @@ fn run_sampled_mode(
 
 fn main() {
     let mut args = std::env::args().skip(1);
+    let mut serve_mode = false;
+    let mut store_dir: Option<String> = None;
+    let mut spool_dir: Option<String> = None;
+    let mut serve_once = false;
     let mut grid = "fig4".to_string();
     let mut designs_arg: Option<String> = None;
     let mut scenarios_arg: Option<String> = None;
@@ -955,6 +975,10 @@ fn main() {
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "serve" | "--serve" => serve_mode = true,
+            "--store" => store_dir = Some(value(&mut args, "--store")),
+            "--spool" => spool_dir = Some(value(&mut args, "--spool")),
+            "--serve-once" => serve_once = true,
             "--grid" => grid = value(&mut args, "--grid"),
             "--designs" => designs_arg = Some(value(&mut args, "--designs")),
             "--capacities" => {
@@ -1095,11 +1119,68 @@ fn main() {
     let obs = ObsOut::new(trace_out, metrics_out);
     let jsonl = progress_sink(&progress_jsonl);
 
+    if serve_mode {
+        if serve_once && spool_dir.is_none() {
+            fail("--serve-once requires --spool");
+        }
+        // Responses stream on stdout, so the engine must not print
+        // per-point progress there.
+        let mut engine = SweepEngine::new().quiet();
+        if let Some(n) = threads {
+            engine = engine.with_threads(n);
+        }
+        if let Some(dir) = &store_dir {
+            engine = engine
+                .with_durable_store(std::path::Path::new(dir))
+                .unwrap_or_else(|e| fail(&format!("cannot open store `{dir}`: {e}")));
+        }
+        let started = Instant::now();
+        let totals = match &spool_dir {
+            Some(dir) => fc_sweep::serve_spool(
+                &engine,
+                std::path::Path::new(dir),
+                &fc_sweep::ServeOptions {
+                    once: serve_once,
+                    ..Default::default()
+                },
+            ),
+            None => {
+                let stdin = std::io::stdin();
+                let stdout = std::io::stdout();
+                fc_sweep::serve_jsonl(&engine, stdin.lock(), stdout.lock())
+            }
+        }
+        .unwrap_or_else(|e| fail(&format!("serve loop failed: {e}")));
+        eprintln!(
+            "[fc_sweep] serve: {} request(s), {} point(s) ({} fresh), {} error(s)",
+            totals.requests, totals.points, totals.fresh, totals.errors
+        );
+        let mut prov = provenance(
+            "serve",
+            &scale_name,
+            seed,
+            engine.threads(),
+            totals.points as usize,
+            Vec::new(),
+            Vec::new(),
+            started.elapsed().as_secs_f64(),
+        );
+        prov.store_generation = engine.store().generation();
+        obs.finish(&prov);
+        return;
+    }
+
     if sampled && (grid == "mix" || grid == "loaded") {
         fail("--sampled applies to trace-replay grids (fig4/fig5/fig67/designspace/sampled)");
     }
     if no_pit && pit_workers.is_some() {
         fail("--no-pit conflicts with --pit-workers");
+    }
+    if store_dir.is_some() && (sampled || grid == "mix" || grid == "loaded") {
+        eprintln!(
+            "[fc_sweep] note: --store backs the detailed trace-replay store; \
+             sampled/mix/loaded grids run in-memory"
+        );
     }
 
     if grid == "mix" {
@@ -1204,6 +1285,11 @@ fn main() {
     if let Some(n) = threads {
         engine = engine.with_threads(n);
     }
+    if let Some(dir) = &store_dir {
+        engine = engine
+            .with_durable_store(std::path::Path::new(dir))
+            .unwrap_or_else(|e| fail(&format!("cannot open store `{dir}`: {e}")));
+    }
     if quiet {
         engine = engine.quiet();
     }
@@ -1257,7 +1343,7 @@ fn main() {
         });
     }
 
-    let prov = provenance(
+    let mut prov = provenance(
         &grid,
         &scale_name,
         seed,
@@ -1267,6 +1353,7 @@ fn main() {
         design_labels(&designs),
         parallel_secs,
     );
+    prov.store_generation = engine.store().generation();
     if let Some(path) = &json_path {
         write_file(
             path,

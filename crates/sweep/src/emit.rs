@@ -45,69 +45,77 @@ fn per_core_json(rep: &fc_sim::SimReport) -> String {
     format!("[{}]", entries.join(", "))
 }
 
+/// Renders one sweep result as a single JSON object (no trailing
+/// newline) — the per-point record `to_json` arrays up, and the
+/// payload `fc_sweep serve` streams per point.
+pub fn point_record_json(r: &SweepResult) -> String {
+    let p = &r.point;
+    let rep = &r.report;
+    let prediction = match &rep.prediction {
+        Some(pred) => format!(
+            "{{\"covered\": {}, \"overpredicted\": {}, \"underpredicted\": {}, \
+             \"singleton_bypasses\": {}, \"singleton_promotions\": {}}}",
+            pred.covered,
+            pred.overpredicted,
+            pred.underpredicted,
+            pred.singleton_bypasses,
+            pred.singleton_promotions
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"workload\": \"{workload}\", \"design\": \"{design}\", \
+         \"capacity_mb\": {mb}, \"seed\": {seed}, \
+         \"warmup_records\": {warmup}, \"measured_records\": {measured}, \
+         \"key\": \"{key:016x}\", \
+         \"insts\": {insts}, \"cycles\": {cycles}, \
+         \"throughput\": {tput}, \
+         \"miss_ratio\": {miss}, \"hit_ratio\": {hit}, \
+         \"offchip_bytes_per_inst\": {obpi}, \
+         \"stacked_bytes_per_inst\": {sbpi}, \
+         \"offchip_energy_nj\": {oe}, \"stacked_energy_nj\": {se}, \
+         \"stacked_row_hit_ratio\": {rh}, \
+         \"stacked_compound_accesses\": {compound}, \
+         \"offchip_busy_cycles\": {obusy}, \"stacked_busy_cycles\": {sbusy}, \
+         \"offchip_avg_queue_delay\": {oqd}, \"stacked_avg_queue_delay\": {sqd}, \
+         \"offchip_queue_hist\": {ohist}, \"stacked_queue_hist\": {shist}, \
+         \"per_core\": {per_core}, \
+         \"prediction\": {prediction}}}",
+        workload = json_escape(&p.workload.to_string()),
+        design = json_escape(&p.design.label()),
+        mb = p.capacity_mb(),
+        seed = p.seed(),
+        warmup = p.warmup(),
+        measured = p.measured(),
+        key = p.key().hash64(),
+        insts = rep.insts,
+        cycles = rep.cycles,
+        tput = json_num(rep.throughput()),
+        miss = json_num(rep.cache.miss_ratio()),
+        hit = json_num(rep.cache.hit_ratio()),
+        obpi = json_num(rep.offchip_bytes_per_inst()),
+        sbpi = json_num(stacked_bytes_per_inst(rep)),
+        oe = json_num(rep.offchip_energy.total_nj()),
+        se = json_num(rep.stacked_energy.total_nj()),
+        rh = json_num(rep.stacked.row_hit_ratio()),
+        compound = rep.stacked.compound_accesses,
+        obusy = rep.offchip.busy_cycles,
+        sbusy = rep.stacked.busy_cycles,
+        oqd = json_num(rep.offchip.avg_queue_delay()),
+        sqd = json_num(rep.stacked.avg_queue_delay()),
+        ohist = hist_json(&rep.offchip.queue_hist),
+        shist = hist_json(&rep.stacked.queue_hist),
+        per_core = per_core_json(rep),
+    )
+}
+
 /// Renders results as a JSON array (one object per point).
 pub fn to_json(results: &[SweepResult]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
-        let p = &r.point;
-        let rep = &r.report;
-        let prediction = match &rep.prediction {
-            Some(pred) => format!(
-                "{{\"covered\": {}, \"overpredicted\": {}, \"underpredicted\": {}, \
-                 \"singleton_bypasses\": {}, \"singleton_promotions\": {}}}",
-                pred.covered,
-                pred.overpredicted,
-                pred.underpredicted,
-                pred.singleton_bypasses,
-                pred.singleton_promotions
-            ),
-            None => "null".to_string(),
-        };
-        out.push_str(&format!(
-            "  {{\"workload\": \"{workload}\", \"design\": \"{design}\", \
-             \"capacity_mb\": {mb}, \"seed\": {seed}, \
-             \"warmup_records\": {warmup}, \"measured_records\": {measured}, \
-             \"key\": \"{key:016x}\", \
-             \"insts\": {insts}, \"cycles\": {cycles}, \
-             \"throughput\": {tput}, \
-             \"miss_ratio\": {miss}, \"hit_ratio\": {hit}, \
-             \"offchip_bytes_per_inst\": {obpi}, \
-             \"stacked_bytes_per_inst\": {sbpi}, \
-             \"offchip_energy_nj\": {oe}, \"stacked_energy_nj\": {se}, \
-             \"stacked_row_hit_ratio\": {rh}, \
-             \"stacked_compound_accesses\": {compound}, \
-             \"offchip_busy_cycles\": {obusy}, \"stacked_busy_cycles\": {sbusy}, \
-             \"offchip_avg_queue_delay\": {oqd}, \"stacked_avg_queue_delay\": {sqd}, \
-             \"offchip_queue_hist\": {ohist}, \"stacked_queue_hist\": {shist}, \
-             \"per_core\": {per_core}, \
-             \"prediction\": {prediction}}}{comma}\n",
-            workload = json_escape(&p.workload.to_string()),
-            design = json_escape(&p.design.label()),
-            mb = p.capacity_mb(),
-            seed = p.seed(),
-            warmup = p.warmup(),
-            measured = p.measured(),
-            key = p.key().hash64(),
-            insts = rep.insts,
-            cycles = rep.cycles,
-            tput = json_num(rep.throughput()),
-            miss = json_num(rep.cache.miss_ratio()),
-            hit = json_num(rep.cache.hit_ratio()),
-            obpi = json_num(rep.offchip_bytes_per_inst()),
-            sbpi = json_num(stacked_bytes_per_inst(rep)),
-            oe = json_num(rep.offchip_energy.total_nj()),
-            se = json_num(rep.stacked_energy.total_nj()),
-            rh = json_num(rep.stacked.row_hit_ratio()),
-            compound = rep.stacked.compound_accesses,
-            obusy = rep.offchip.busy_cycles,
-            sbusy = rep.stacked.busy_cycles,
-            oqd = json_num(rep.offchip.avg_queue_delay()),
-            sqd = json_num(rep.stacked.avg_queue_delay()),
-            ohist = hist_json(&rep.offchip.queue_hist),
-            shist = hist_json(&rep.stacked.queue_hist),
-            per_core = per_core_json(rep),
-            comma = if i + 1 == results.len() { "" } else { "," },
-        ));
+        out.push_str("  ");
+        out.push_str(&point_record_json(r));
+        out.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
     }
     out.push_str("]\n");
     out

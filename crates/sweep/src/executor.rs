@@ -80,6 +80,16 @@ impl SweepEngine {
         self
     }
 
+    /// Backs the engine's result store with the durable shard
+    /// directory at `dir`: results computed by this engine persist,
+    /// and previously persisted points are recalled instead of
+    /// re-simulated. The sampled store stays in-memory (sampled grids
+    /// are cheap to recompute by design).
+    pub fn with_durable_store(mut self, dir: &std::path::Path) -> Result<Self, String> {
+        self.store = Arc::new(ResultStore::durable(dir)?);
+        Ok(self)
+    }
+
     /// Caps the per-workload trace cache at `budget_records` records.
     pub fn with_trace_budget(mut self, budget_records: usize) -> Self {
         self.traces = Arc::new(TraceCache::new(budget_records));

@@ -20,6 +20,13 @@
 //! * [`TraceCache`] — synthesized traces are shared per (workload,
 //!   cores, seed): every design replaying the same workload replays the
 //!   *same* record stream without re-synthesizing it.
+//! * [`durable`] — an on-disk backend for the result store: records
+//!   are placed on a consistent-hash ring of shard files
+//!   ([`HashRing`]), so results outlive the process and growing the
+//!   shard count relocates only ~K/n keys.
+//! * [`serve`] — `fc_sweep serve`: a long-running loop that accepts
+//!   grid requests as JSONL (stdin or a spool directory), diffs them
+//!   against the durable store, and simulates only what's missing.
 //! * [`emit`] — JSON and CSV emitters for result sets, plus the
 //!   `fc_sweep` CLI binary that runs grids from the command line.
 //!
@@ -48,25 +55,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod emit;
 mod executor;
 pub mod loaded;
 pub mod mix;
 mod progress;
+mod ring;
 pub mod sampled;
 mod scale;
+pub mod serve;
 mod spec;
 mod store;
 mod trace_cache;
 
+pub use durable::{Durable, StoreValue, DEFAULT_DISK_SHARDS};
 pub use executor::{SweepEngine, SweepResult};
 pub use loaded::{run_loaded, LoadedGrid, LoadedResult};
 pub use mix::{run_mix, MixGrid, MixPoint, MixResult};
 pub use progress::{Progress, ProgressSink};
+pub use ring::{HashRing, DEFAULT_VNODES};
 pub use sampled::{
     run_sampled_grid, run_sampled_grid_pit, SampledGrid, SampledPoint, SampledResult,
 };
 pub use scale::RunScale;
+pub use serve::{serve_jsonl, serve_spool, ServeOptions};
 pub use spec::{SweepPoint, SweepSpec};
 pub use store::{PointKey, ResultStore};
 pub use trace_cache::TraceCache;

@@ -1,10 +1,14 @@
-//! Concurrent memoized result storage.
+//! Concurrent memoized result storage, optionally durable.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use fc_obs::metrics;
 use fc_sim::SimReport;
+
+use crate::durable::{Durable, StoreValue};
 
 /// Stable identity of a sweep point: an FNV-1a hash for cheap sharding
 /// and comparison, plus the full canonical encoding so hash collisions
@@ -99,6 +103,7 @@ pub struct ResultStore<T = SimReport> {
     shards: Vec<Mutex<HashMap<PointKey, Slot<T>>>>,
     computed: AtomicU64,
     memo_hits: AtomicU64,
+    durable: Option<Durable<T>>,
 }
 
 impl<T> Default for ResultStore<T> {
@@ -107,12 +112,35 @@ impl<T> Default for ResultStore<T> {
     }
 }
 
+impl<T: StoreValue> ResultStore<T> {
+    /// A store backed by the durable shard directory at `dir` (created
+    /// if absent, reopened with its recorded shard count otherwise).
+    /// Results computed through this store persist across processes;
+    /// see `durable.rs` for the file layout and recovery semantics.
+    pub fn durable(dir: &Path) -> Result<Self, String> {
+        Self::durable_with_shards(dir, None)
+    }
+
+    /// A durable store with an explicit disk-shard count. Reopening an
+    /// existing directory with a different count migrates its records
+    /// onto the new consistent-hash ring.
+    pub fn durable_with_shards(dir: &Path, shards: Option<u32>) -> Result<Self, String> {
+        let durable = match shards {
+            Some(n) => Durable::open(dir, n),
+            None => Durable::open_default(dir),
+        }?;
+        let mut store = Self::new();
+        store.durable = Some(durable);
+        Ok(store)
+    }
+}
+
 impl<T> ResultStore<T> {
     /// Shards in the store: enough that a full pod's worth of worker
     /// threads rarely contend on one lock.
     const SHARDS: usize = 16;
 
-    /// An empty store.
+    /// An empty in-memory store.
     pub fn new() -> Self {
         Self {
             shards: (0..Self::SHARDS)
@@ -120,15 +148,42 @@ impl<T> ResultStore<T> {
                 .collect(),
             computed: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
+            durable: None,
         }
     }
 
     fn shard(&self, key: &PointKey) -> &Mutex<HashMap<PointKey, Slot<T>>> {
-        &self.shards[(key.hash64() as usize) % self.shards.len()]
+        // FNV's low bits correlate for near-identical canonical strings
+        // (two points differing in one capacity digit), so finalize the
+        // hash before reducing it — otherwise near-identical configs
+        // pile onto a few shards.
+        &self.shards[(fc_types::mix64(key.hash64()) as usize) % self.shards.len()]
     }
 
-    /// The report for `key` if already computed.
+    /// Pulls `key`'s disk shard into memory on first touch (no-op for
+    /// in-memory stores and already-loaded shards). Disk records never
+    /// clobber a live in-memory slot.
+    fn ensure_loaded_for(&self, key: &PointKey) {
+        let Some(durable) = &self.durable else {
+            return;
+        };
+        durable.ensure_loaded(durable.shard_of(key), |loaded_key, value| {
+            let mut shard = self.shard(&loaded_key).lock().expect("store shard");
+            shard
+                .entry(loaded_key)
+                .or_insert_with(|| Slot::Ready(Arc::new(value)));
+        });
+    }
+
+    /// The store generation if durable (bumped on quarantine/resize),
+    /// `None` for in-memory stores. Recorded in artifact provenance.
+    pub fn generation(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.generation())
+    }
+
+    /// The report for `key` if already computed (or persisted).
     pub fn get(&self, key: &PointKey) -> Option<Arc<T>> {
+        self.ensure_loaded_for(key);
         let shard = self.shard(key).lock().expect("store shard");
         match shard.get(key) {
             Some(Slot::Ready(report)) => Some(Arc::clone(report)),
@@ -138,18 +193,22 @@ impl<T> ResultStore<T> {
 
     /// Returns the memoized report for `key`, running `compute` first if
     /// this is the key's first request. Concurrent callers of the same
-    /// key wait for the single in-flight computation.
+    /// key wait for the single in-flight computation. Fresh results are
+    /// appended to the durable backend, when there is one.
     pub fn get_or_compute<F: FnOnce() -> T>(&self, key: &PointKey, compute: F) -> Arc<T> {
+        self.ensure_loaded_for(key);
         loop {
             let gate = {
                 let mut shard = self.shard(key).lock().expect("store shard");
                 match shard.get(key) {
                     Some(Slot::Ready(report)) => {
                         self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                        metrics::counter("store.hits").add(1);
                         return Arc::clone(report);
                     }
                     Some(Slot::Pending(gate)) => Arc::clone(gate),
                     None => {
+                        metrics::counter("store.misses").add(1);
                         let gate = Gate::new();
                         shard.insert(key.clone(), Slot::Pending(Arc::clone(&gate)));
                         drop(shard);
@@ -167,6 +226,9 @@ impl<T> ResultStore<T> {
                         shard.insert(key.clone(), Slot::Ready(Arc::clone(&report)));
                         drop(shard);
                         self.computed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(durable) = &self.durable {
+                            durable.append(key, &report);
+                        }
                         gate.open();
                         return report;
                     }
@@ -266,6 +328,68 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a.hash64(), b.hash64());
         assert_eq!(a, PointKey::from_canonical("a".into()));
+    }
+
+    #[test]
+    fn shards_balance_over_real_grid_keys() {
+        // Regression for raw `fnv % n` placement: canonical encodings of
+        // a real design-space grid share long prefixes and differ only
+        // in a few digits, which correlates FNV's low bits. The mixed
+        // placement must still spread them.
+        use crate::{RunScale, SweepSpec};
+        let designs = fc_sim::resolve_designs("baseline,footprint", &[64, 128, 256, 512])
+            .expect("registry designs");
+        let spec = SweepSpec::new(RunScale::tiny()).grid(&fc_trace::WorkloadKind::ALL, &designs);
+        let keys: Vec<PointKey> = spec.points().iter().map(|p| p.key()).collect();
+        assert!(keys.len() >= 24, "grid too small to test balance");
+        let mut counts = [0usize; ResultStore::<SimReport>::SHARDS];
+        let store: ResultStore = ResultStore::new();
+        for k in &keys {
+            let idx = (fc_types::mix64(k.hash64()) as usize) % store.shards.len();
+            counts[idx] += 1;
+        }
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        let max = counts.iter().max().copied().unwrap_or(0);
+        // With 24 keys over 16 shards, uniform placement occupies many
+        // shards and no shard hoards a large fraction of the keys.
+        assert!(
+            occupied >= 10,
+            "only {occupied} of 16 shards occupied: {counts:?}"
+        );
+        assert!(
+            max <= keys.len() / 4,
+            "one shard holds {max} of {} keys: {counts:?}",
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "fc-store-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = PointKey::from_canonical("persistent-point".into());
+        {
+            let store: ResultStore = ResultStore::durable(&dir).unwrap();
+            let r = store.get_or_compute(&key, || report(42));
+            assert_eq!(r.insts, 42);
+            assert_eq!(store.computed(), 1);
+            assert_eq!(store.generation(), Some(0));
+        }
+        {
+            let store: ResultStore = ResultStore::durable(&dir).unwrap();
+            // Served from disk: no recompute.
+            let r = store.get_or_compute(&key, || panic!("must load from disk"));
+            assert_eq!(r.insts, 42);
+            assert_eq!(store.computed(), 0);
+            assert_eq!(store.memo_hits(), 1);
+            // get() also sees it.
+            assert_eq!(store.get(&key).unwrap().insts, 42);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

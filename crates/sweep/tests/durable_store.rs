@@ -1,0 +1,220 @@
+//! End-to-end tests of the durable result store: warm re-runs, crash
+//! recovery from a truncated shard, serve-mode reuse, and the
+//! atomicity of artifact writes.
+
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use fc_sim::DesignSpec;
+use fc_sweep::{serve_jsonl, RunScale, SweepEngine, SweepResult, SweepSpec, WorkloadKind};
+use fc_types::json::JsonValue;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fc-durable-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec::new(RunScale::tiny())
+        .grid(
+            &[WorkloadKind::WebSearch, WorkloadKind::DataServing],
+            &[
+                DesignSpec::baseline(),
+                DesignSpec::footprint(64),
+                DesignSpec::page(64),
+            ],
+        )
+        .dedup()
+}
+
+fn durable_engine(dir: &Path) -> SweepEngine {
+    SweepEngine::new()
+        .with_threads(2)
+        .quiet()
+        .with_durable_store(dir)
+        .expect("open durable store")
+}
+
+fn shard_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("shard-"))
+                && p.extension().is_some_and(|x| x == "jsonl")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn warm_rerun_performs_zero_fresh_simulations() {
+    let dir = tmpdir("warm");
+    let spec = spec();
+
+    let cold_engine = durable_engine(&dir);
+    let cold = cold_engine.run_spec(&spec);
+    assert_eq!(cold_engine.store().computed(), spec.len() as u64);
+
+    // A fresh engine on the same directory stands in for a fresh
+    // process: everything must come back from disk.
+    let warm_engine = durable_engine(&dir);
+    let warm = warm_engine.run_spec(&spec);
+    assert_eq!(
+        warm_engine.store().computed(),
+        0,
+        "warm re-run must not simulate anything"
+    );
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(
+            *a.report,
+            *b.report,
+            "{} diverged across reopen",
+            a.point.label()
+        );
+    }
+}
+
+#[test]
+fn truncated_shard_recovers_and_recomputes_only_lost_points() {
+    let dir = tmpdir("crash");
+    let spec = spec();
+
+    let cold_engine = durable_engine(&dir);
+    let cold: Vec<SweepResult> = cold_engine.run_spec(&spec);
+    drop(cold_engine);
+
+    // Simulate a crash mid-append: chop the tail off the fullest
+    // shard, leaving its last record syntactically broken.
+    let shards = shard_files(&dir);
+    assert!(!shards.is_empty(), "cold run persisted no shards");
+    let victim = shards
+        .iter()
+        .max_by_key(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .unwrap();
+    let bytes = std::fs::read(victim).unwrap();
+    let records_before = bytes.iter().filter(|&&b| b == b'\n').count();
+    assert!(records_before >= 1, "victim shard is empty");
+    std::fs::write(victim, &bytes[..bytes.len() - 30]).unwrap();
+
+    let recovered_engine = durable_engine(&dir);
+    let recovered = recovered_engine.run_spec(&spec);
+
+    // Exactly the one destroyed record is recomputed; the salvaged
+    // prefix (and every other shard) is recalled from disk.
+    assert_eq!(
+        recovered_engine.store().computed(),
+        1,
+        "recovery must recompute only the lost point"
+    );
+    assert_eq!(
+        recovered_engine.store().generation(),
+        Some(1),
+        "quarantine bumps the store generation"
+    );
+    let quarantined = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| e.file_name().to_string_lossy().contains("corrupt"));
+    assert!(quarantined, "the damaged shard is kept aside for forensics");
+
+    // Bit-identical to the cold run: recovery changes provenance, not
+    // results.
+    assert_eq!(cold.len(), recovered.len());
+    for (a, b) in cold.iter().zip(&recovered) {
+        assert_eq!(
+            *a.report,
+            *b.report,
+            "{} diverged after recovery",
+            a.point.label()
+        );
+    }
+}
+
+#[test]
+fn serve_reuses_durable_results_across_engines() {
+    let dir = tmpdir("serve");
+    let request = "{\"id\": \"it\", \"designs\": \"baseline,footprint\", \
+                   \"capacities\": [64], \"workloads\": [\"web search\"], \
+                   \"scale\": \"tiny\"}\n";
+
+    let summary_of = |out: Vec<u8>| -> JsonValue {
+        let text = String::from_utf8(out).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"summary\""))
+            .expect("summary line");
+        JsonValue::parse(line).unwrap()
+    };
+
+    let cold_engine = durable_engine(&dir);
+    let mut out = Vec::new();
+    serve_jsonl(&cold_engine, Cursor::new(request), &mut out).unwrap();
+    let cold = summary_of(out);
+    assert_eq!(cold.field("fresh").unwrap().as_u64().unwrap(), 2);
+    drop(cold_engine);
+
+    let warm_engine = durable_engine(&dir);
+    let mut out = Vec::new();
+    serve_jsonl(&warm_engine, Cursor::new(request), &mut out).unwrap();
+    let warm = summary_of(out);
+    assert_eq!(
+        warm.field("fresh").unwrap().as_u64().unwrap(),
+        0,
+        "second serve pass answers entirely from the durable store"
+    );
+    assert_eq!(warm.field("points").unwrap().as_u64().unwrap(), 2);
+    assert_eq!(warm_engine.store().computed(), 0);
+}
+
+#[test]
+fn atomic_write_never_exposes_partial_content() {
+    let dir = tmpdir("atomic");
+    let path = Arc::new(dir.join("artifact.json"));
+    let small = Arc::new(vec![b'a'; 64]);
+    let large = Arc::new(vec![b'b'; 1 << 20]);
+    fc_types::atomic_write(&path, &small).unwrap();
+
+    // A writer flapping between a small and a large artifact while a
+    // reader polls: with in-place writes the reader would catch
+    // truncated intermediates; with temp+rename it never can.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let (path, small, large, stop) = (
+            Arc::clone(&path),
+            Arc::clone(&small),
+            Arc::clone(&large),
+            Arc::clone(&stop),
+        );
+        std::thread::spawn(move || {
+            for i in 0..200 {
+                let body: &[u8] = if i % 2 == 0 { &large } else { &small };
+                fc_types::atomic_write(&path, body).unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        })
+    };
+
+    let mut observations = 0u64;
+    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+        let seen = std::fs::read(&*path).unwrap();
+        assert!(
+            seen == *small || seen == *large,
+            "reader saw a partial artifact of {} bytes",
+            seen.len()
+        );
+        observations += 1;
+    }
+    writer.join().unwrap();
+    assert!(observations > 0, "reader never got to observe the file");
+}

@@ -30,6 +30,29 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Finalizes (avalanches) a 64-bit hash so every output bit depends on
+/// every input bit — the SplitMix64 finalizer.
+///
+/// FNV-1a's low bits correlate for inputs that share a long prefix and
+/// differ only near the end (exactly the shape of two sweep-point
+/// canonical encodings that differ in one capacity digit), so indexing
+/// a shard table with `fnv % n` clusters near-identical configs onto
+/// the same shard. Mix before any modulo/ring placement.
+///
+/// ```
+/// let a = fc_types::mix64(fc_types::fnv1a(b"cap=64"));
+/// let b = fc_types::mix64(fc_types::fnv1a(b"cap=65"));
+/// assert_ne!(a & 0xff, b & 0xff); // low bits decorrelate (these vectors do)
+/// ```
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
 /// An FNV-1a [`Hasher`] for `HashMap`s keyed by small integers or short
 /// byte strings (page numbers, block addresses): far cheaper than the
 /// default SipHash on hot counting loops, at the cost of being
@@ -79,6 +102,26 @@ mod tests {
         let mut h = FnvHasher::default();
         h.write(b"hello world");
         assert_eq!(h.finish(), fnv1a(b"hello world"));
+    }
+
+    #[test]
+    fn mix64_decorrelates_low_bits() {
+        // Raw FNV of near-identical strings keeps low-bit structure;
+        // after mixing, placements over a small modulus spread out.
+        let raw: Vec<u64> = (0..64u64)
+            .map(|i| fnv1a(format!("workload|design|cap={i}").as_bytes()))
+            .collect();
+        let mixed_buckets: std::collections::HashSet<u64> =
+            raw.iter().map(|&h| mix64(h) % 16).collect();
+        assert!(
+            mixed_buckets.len() >= 12,
+            "mixed placement should cover most of 16 buckets, got {}",
+            mixed_buckets.len()
+        );
+        // Mixing is a bijection-ish finalizer: distinct ins, distinct outs.
+        let outs: std::collections::HashSet<u64> = raw.iter().map(|&h| mix64(h)).collect();
+        assert_eq!(outs.len(), raw.len());
+        assert_eq!(mix64(0), 0); // fixed point of the finalizer, documented
     }
 
     #[test]

@@ -80,6 +80,14 @@ impl JsonValue {
         }
     }
 
+    /// The value as an f64 (any JSON number).
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            JsonValue::Num(n) => Ok(*n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Result<&str, String> {
         match self {
@@ -141,10 +149,39 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
-            .map(JsonValue::Num)
-            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        // The matched bytes are pure ASCII, but a durable-store load
+        // must degrade to `Err`, never panic, whatever the input.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        // JSON numbers start with a digit or `-`; Rust's f64 parser is
+        // laxer (leading `+`, `.5`), so gate before delegating to it.
+        if !matches!(text.as_bytes().first(), Some(b'0'..=b'9' | b'-')) {
+            return Err(format!("bad number `{text}` at byte {start}"));
+        }
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))?;
+        // `f64::from_str` accepts overlong digit strings by rounding to
+        // infinity; JSON has no infinity, and a non-finite value would
+        // silently corrupt anything persisted through the emitters.
+        if !n.is_finite() {
+            return Err(format!(
+                "number `{text}` overflows double precision at byte {start}"
+            ));
+        }
+        Ok(JsonValue::Num(n))
+    }
+
+    /// Reads the four hex digits of a `\u` escape, advancing past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape".to_string())?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?, 16)
+            .map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -171,17 +208,43 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape".to_string())?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape".to_string())?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            let code = self.hex4()?;
+                            match code {
+                                // High surrogate: must pair with a low
+                                // surrogate in an immediately following
+                                // `\u` escape (UTF-16 encoding of a
+                                // supplementary-plane char like 😀).
+                                0xd800..=0xdbff => {
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err(format!(
+                                            "lone high surrogate \\u{code:04x} at byte {}",
+                                            self.pos
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(format!(
+                                            "high surrogate \\u{code:04x} followed by \\u{low:04x}, not a low surrogate"
+                                        ));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    out.push(
+                                        char::from_u32(scalar)
+                                            .expect("paired surrogates form a valid scalar"),
+                                    );
+                                }
+                                0xdc00..=0xdfff => {
+                                    return Err(format!(
+                                        "lone low surrogate \\u{code:04x} at byte {}",
+                                        self.pos
+                                    ));
+                                }
+                                _ => out.push(
+                                    char::from_u32(code)
+                                        .expect("non-surrogate BMP code points are scalars"),
+                                ),
+                            }
                         }
                         other => return Err(format!("unknown escape `\\{}`", *other as char)),
                     }
@@ -316,5 +379,51 @@ mod tests {
     fn unicode_strings_survive() {
         let v = JsonValue::parse(r#""héllo ✓""#).unwrap();
         assert_eq!(v.as_str().unwrap(), "héllo ✓");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_char() {
+        // 😀 is U+1F600, encoded in JSON \u escapes as a surrogate pair.
+        let v = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀");
+        // Raw UTF-8 and escaped forms agree.
+        assert_eq!(JsonValue::parse(r#""😀""#).unwrap(), v);
+        // Round trip: escape() emits raw UTF-8, which reparses identically.
+        let reparsed = JsonValue::parse(&format!("\"{}\"", escape("mixed 😀 ✓ text"))).unwrap();
+        assert_eq!(reparsed.as_str().unwrap(), "mixed 😀 ✓ text");
+    }
+
+    #[test]
+    fn lone_surrogates_are_errors() {
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err()); // lone high
+        assert!(JsonValue::parse(r#""\ude00""#).is_err()); // lone low
+        assert!(JsonValue::parse(r#""\ud83dA""#).is_err()); // high + non-low
+        assert!(JsonValue::parse(r#""\ud83dx""#).is_err()); // high + raw char
+        assert!(JsonValue::parse(r#""\ud83d"#).is_err()); // high at EOF
+    }
+
+    #[test]
+    fn malformed_numbers_error_instead_of_panicking() {
+        assert!(JsonValue::parse("1e").is_err()); // truncated exponent
+        assert!(JsonValue::parse("-").is_err()); // lone minus
+        assert!(JsonValue::parse("1e999").is_err()); // overflows to inf
+        let overlong = format!("1{}", "0".repeat(400)); // overlong digits
+        assert!(JsonValue::parse(&overlong).is_err());
+        assert!(JsonValue::parse("+5").is_err()); // JSON has no leading +
+        assert!(JsonValue::parse("1.2.3").is_err());
+        // Valid scientific notation still parses.
+        assert_eq!(JsonValue::parse("1.5e3").unwrap().as_f64().unwrap(), 1500.0);
+        assert_eq!(JsonValue::parse("-2.5").unwrap().as_f64().unwrap(), -2.5);
+    }
+
+    #[test]
+    fn f64_round_trips_through_display() {
+        // The durable store serializes f64 via Display (shortest
+        // round-trip form); parse must recover the exact bits.
+        for &x in &[0.1, 1.0 / 3.0, 123456.789e-12, f64::MAX, 5e-324] {
+            let text = format!("{x}");
+            let back = JsonValue::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "round trip of {text}");
+        }
     }
 }

@@ -47,10 +47,10 @@ mod util;
 pub use access::{AccessKind, CoreId, MemAccess};
 pub use addr::{BlockAddr, PageAddr, Pc, PhysAddr};
 pub use blockstate::{BlockState, BlockStateVec};
-pub use fnv::{fnv1a, FnvBuildHasher, FnvHasher, FNV_OFFSET, FNV_PRIME};
+pub use fnv::{fnv1a, mix64, FnvBuildHasher, FnvHasher, FNV_OFFSET, FNV_PRIME};
 pub use footprint::Footprint;
 pub use geometry::PageGeometry;
-pub use util::{geomean, mean, percentile};
+pub use util::{atomic_write, geomean, mean, percentile};
 
 /// Size in bytes of a cache block (cache line). The paper uses 64-byte blocks
 /// everywhere ("conventional blocks (e.g., 64B)").

@@ -64,9 +64,71 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// same-directory temporary file, are synced, and the temp file is
+/// renamed over `path` in one step. A reader (or a crash/kill at any
+/// instant) therefore observes either the old file or the complete new
+/// one — never a truncated artifact. Every emitter in the workspace
+/// (sweep/bench JSON, CSV, durable-store shards) writes through this.
+pub fn atomic_write(path: &std::path::Path, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Unique per (process, call): concurrent writers to the same target
+    // never collide on the temp name; the rename decides who wins.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp_name = format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        seq
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let mut f = std::fs::File::create(&tmp)?;
+    let result = f
+        .write_all(contents)
+        .and_then(|_| f.sync_all())
+        .and_then(|_| {
+            drop(f);
+            std::fs::rename(&tmp, path)
+        });
+    if result.is_err() {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn atomic_write_replaces_content_and_cleans_temp() {
+        let dir = std::env::temp_dir().join(format!("fc-atomic-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn mean_basic() {
