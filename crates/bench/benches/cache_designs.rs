@@ -5,12 +5,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fc_cache::{
-    BlockBasedCache, DramCacheModel, HotPageCache, IdealCache, PageBasedCache, SubBlockCache,
+    BlockBasedCache, BoxedModel, HotPageCache, IdealCache, PageBasedCache, SubBlockCache,
 };
 use fc_types::{MemAccess, PageGeometry, Pc, PhysAddr};
 use footprint_cache::{FootprintCache, FootprintCacheConfig};
 
-fn designs() -> Vec<(&'static str, Box<dyn DramCacheModel>)> {
+fn designs() -> Vec<(&'static str, BoxedModel)> {
     let geom = PageGeometry::default();
     vec![
         ("block", Box::new(BlockBasedCache::new(64 << 20))),

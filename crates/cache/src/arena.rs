@@ -1,0 +1,231 @@
+//! A generational slab arena for per-page state.
+//!
+//! Page-granular bookkeeping (densities, footprints, coverage masks)
+//! wants dense, index-chased storage: hash-probing a map per access puts
+//! a data-dependent load on the hottest loop in the simulator, and
+//! cloning a map for a checkpoint walks every bucket. `PageArena` keeps
+//! values in a flat `Vec` of slots with a free list, hands out
+//! copyable [`PageHandle`]s (slot index + generation), and validates
+//! every dereference against the slot's generation so a handle to a
+//! removed page can never alias its successor. Cloning the arena is a
+//! memcpy-like `Vec` clone.
+
+/// A handle into a [`PageArena`]: a dense slot index plus the slot's
+/// generation at insertion time. Copyable and 8 bytes — store it where
+/// you would otherwise store a page id and re-probe a map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl PageHandle {
+    /// The dense slot index (stable for the value's lifetime; reused
+    /// with a bumped generation after removal).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational slab: dense `Vec` slots + free list + u32 handles.
+///
+/// # Examples
+///
+/// ```
+/// use fc_cache::PageArena;
+///
+/// let mut arena = PageArena::new();
+/// let h = arena.insert(0b1011u32);
+/// *arena.get_mut(h).unwrap() |= 0b0100;
+/// assert_eq!(arena.get(h), Some(&0b1111));
+/// assert_eq!(arena.remove(h), Some(0b1111));
+/// assert_eq!(arena.get(h), None); // stale handle, safely rejected
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageArena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: u32,
+}
+
+impl<T> Default for PageArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PageArena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty arena with room for `capacity` values before growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Stores `value`, returning its handle. Reuses a freed slot when
+    /// one exists (with a fresh generation), else grows the slab.
+    pub fn insert(&mut self, value: T) -> PageHandle {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.value = Some(value);
+            PageHandle {
+                index,
+                generation: slot.generation,
+            }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("arena outgrew u32 handles");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            PageHandle {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// The value behind `handle`, or `None` if it was removed (stale
+    /// generation) — a dangling handle is an answerable question, not
+    /// undefined behavior.
+    pub fn get(&self, handle: PageHandle) -> Option<&T> {
+        self.slots
+            .get(handle.index as usize)
+            .filter(|slot| slot.generation == handle.generation)
+            .and_then(|slot| slot.value.as_ref())
+    }
+
+    /// Mutable access to the value behind `handle`.
+    pub fn get_mut(&mut self, handle: PageHandle) -> Option<&mut T> {
+        self.slots
+            .get_mut(handle.index as usize)
+            .filter(|slot| slot.generation == handle.generation)
+            .and_then(|slot| slot.value.as_mut())
+    }
+
+    /// Removes and returns the value behind `handle`, freeing its slot
+    /// for reuse under a new generation. `None` if already removed.
+    pub fn remove(&mut self, handle: PageHandle) -> Option<T> {
+        let slot = self
+            .slots
+            .get_mut(handle.index as usize)
+            .filter(|slot| slot.generation == handle.generation)?;
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(handle.index);
+        self.live -= 1;
+        Some(value)
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.live as usize
+    }
+
+    /// Whether the arena holds no live values.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates live values in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|slot| slot.value.as_ref())
+    }
+
+    /// Removes every value and forgets all slots (handles from before
+    /// the clear never resolve: generations restart with the slab).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut arena = PageArena::new();
+        let a = arena.insert("a");
+        let b = arena.insert("b");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), Some(&"a"));
+        assert_eq!(arena.remove(a), Some("a"));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn stale_handles_never_alias_reused_slots() {
+        let mut arena = PageArena::new();
+        let old = arena.insert(1u64);
+        arena.remove(old);
+        let new = arena.insert(2u64);
+        // The slot is reused (dense storage) …
+        assert_eq!(new.index(), old.index());
+        // … but the stale handle observes nothing.
+        assert_eq!(arena.get(old), None);
+        assert_eq!(arena.remove(old), None);
+        assert_eq!(arena.get(new), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_inert() {
+        let mut arena = PageArena::new();
+        let h = arena.insert(7u32);
+        assert_eq!(arena.remove(h), Some(7));
+        assert_eq!(arena.remove(h), None);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_only_live_values() {
+        let mut arena = PageArena::new();
+        let handles: Vec<_> = (0..5u32).map(|i| arena.insert(i)).collect();
+        arena.remove(handles[1]);
+        arena.remove(handles[3]);
+        let live: Vec<u32> = arena.iter().copied().collect();
+        assert_eq!(live, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut arena = PageArena::new();
+        let h = arena.insert(vec![1, 2, 3]);
+        let snapshot = arena.clone();
+        arena.get_mut(h).unwrap().push(4);
+        assert_eq!(snapshot.get(h).unwrap().len(), 3);
+        assert_eq!(arena.get(h).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn clear_invalidates_everything() {
+        let mut arena = PageArena::new();
+        let h = arena.insert(9u8);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.get(h), None);
+        let h2 = arena.insert(10u8);
+        assert_eq!(arena.get(h2), Some(&10));
+    }
+}

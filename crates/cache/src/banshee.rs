@@ -15,7 +15,7 @@ use fc_types::{Footprint, MemAccess, PageAddr, PageGeometry, PhysAddr};
 
 use crate::design::{sram_latency_cycles, DramCacheModel, DramCacheStats, StorageItem};
 use crate::page::PAGE_WAYS;
-use crate::plan::{AccessPlan, MemOp, MemTarget};
+use crate::plan::{AccessPlan, MemOp, MemTarget, OpList};
 use crate::setassoc::SetAssoc;
 
 /// Bits per page tag entry (tag + valid + LRU + 8-bit frequency).
@@ -123,7 +123,7 @@ impl BansheeCache {
 
     /// Emits eviction traffic for a victim page (dirty blocks only) and
     /// records its density.
-    fn evict(&mut self, set: usize, victim_tag: u64, info: PageInfo, background: &mut Vec<MemOp>) {
+    fn evict(&mut self, set: usize, victim_tag: u64, info: PageInfo, background: &mut OpList) {
         self.stats.evictions += 1;
         self.stats.density.record(info.touched.len());
         if info.dirty.is_empty() {

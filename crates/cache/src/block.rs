@@ -15,7 +15,7 @@ use fc_types::{BlockAddr, MemAccess, PhysAddr};
 
 use crate::design::{DramCacheModel, DramCacheStats, StorageItem};
 use crate::missmap::MissMap;
-use crate::plan::{AccessPlan, MemOp, MemTarget};
+use crate::plan::{AccessPlan, MemOp, MemTarget, OpList};
 use crate::setassoc::SetAssoc;
 
 /// Data blocks per 2 KB DRAM row (set): 30 data + 2 tag blocks.
@@ -80,7 +80,7 @@ impl BlockBasedCache {
 
     /// Evicts `block` from the tag array (if present), appending the
     /// required DRAM ops to `background`.
-    fn evict_block(&mut self, block: BlockAddr, background: &mut Vec<MemOp>) {
+    fn evict_block(&mut self, block: BlockAddr, background: &mut OpList) {
         let (set, tag) = self.decompose(block);
         if let Some(dirty) = self.tags.remove(set, tag) {
             self.stats.evictions += 1;
@@ -145,7 +145,7 @@ impl DramCacheModel for BlockBasedCache {
         // Update the MissMap; a displaced region forces eviction of all
         // its cached blocks — each in a different set, hence row.
         if let Some(region) = self.missmap.set_present(block) {
-            let mut bg = Vec::new();
+            let mut bg = OpList::new();
             for offset in region.present.iter() {
                 let b = BlockAddr::new(region.base.raw() + offset as u64);
                 self.evict_block(b, &mut bg);

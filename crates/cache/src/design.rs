@@ -184,25 +184,33 @@ pub struct PredictionCounters {
     pub singleton_promotions: u64,
 }
 
+/// The canonical boxed design model: every layer that stores or clones
+/// a type-erased design uses this alias. The `Send + Sync` auto-trait
+/// bounds are part of the engine contract (the parallel executor and
+/// the parallel-in-time sampler move models across threads), so a bare
+/// `Box<dyn DramCacheModel>` is almost always a mistake — it cannot
+/// enter a [`MemorySystem`](../fc_sim/struct.MemorySystem.html).
+pub type BoxedModel = Box<dyn DramCacheModel + Send + Sync>;
+
 /// Object-safe cloning for boxed design models.
 ///
 /// Checkpointable simulation (the parallel-in-time sampler) needs to
-/// clone a `Box<dyn DramCacheModel + Send + Sync>` without knowing the
-/// concrete type. Every `Clone + Send` model gets this for free via
-/// the blanket impl; design authors never implement it by hand — they
-/// `#[derive(Clone)]` and the supertrait bound is satisfied.
+/// clone a [`BoxedModel`] without knowing the concrete type. Every
+/// `Clone + Send` model gets this for free via the blanket impl; design
+/// authors never implement it by hand — they `#[derive(Clone)]` and the
+/// supertrait bound is satisfied.
 pub trait CloneModel {
     /// Clones the model behind a fresh box.
-    fn clone_model(&self) -> Box<dyn DramCacheModel + Send + Sync>;
+    fn clone_model(&self) -> BoxedModel;
 }
 
 impl<T: DramCacheModel + Clone + Send + Sync + 'static> CloneModel for T {
-    fn clone_model(&self) -> Box<dyn DramCacheModel + Send + Sync> {
+    fn clone_model(&self) -> BoxedModel {
         Box::new(self.clone())
     }
 }
 
-impl Clone for Box<dyn DramCacheModel + Send + Sync> {
+impl Clone for BoxedModel {
     fn clone(&self) -> Self {
         self.clone_model()
     }

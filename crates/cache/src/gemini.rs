@@ -15,7 +15,7 @@ use fc_types::{Footprint, MemAccess, PageAddr, PageGeometry, PhysAddr};
 
 use crate::design::{sram_latency_cycles, DramCacheModel, DramCacheStats, StorageItem};
 use crate::page::PAGE_WAYS;
-use crate::plan::{AccessPlan, MemOp, MemTarget};
+use crate::plan::{AccessPlan, MemOp, MemTarget, OpList};
 use crate::setassoc::SetAssoc;
 
 /// Bits per page tag entry (tag + valid + LRU + hit counter).
@@ -117,13 +117,7 @@ impl GeminiCache {
 
     /// Emits eviction traffic for a cold-region victim (dirty blocks
     /// only) and records its density.
-    fn evict_cold(
-        &mut self,
-        set: usize,
-        victim_tag: u64,
-        info: PageInfo,
-        background: &mut Vec<MemOp>,
-    ) {
+    fn evict_cold(&mut self, set: usize, victim_tag: u64, info: PageInfo, background: &mut OpList) {
         self.stats.evictions += 1;
         self.stats.density.record(info.touched.len());
         if info.dirty.is_empty() {
@@ -148,7 +142,7 @@ impl GeminiCache {
     /// Promotes `page` (just removed from the cold region) into its
     /// direct-mapped slot, demoting any displaced page back into the
     /// cold region. All migration traffic stays inside the stack.
-    fn promote(&mut self, page: PageAddr, mut info: PageInfo, background: &mut Vec<MemOp>) {
+    fn promote(&mut self, page: PageAddr, mut info: PageInfo, background: &mut OpList) {
         info.hits = 0;
         let (index, tag) = self.hot_slot(page);
         let blocks = self.geom.blocks_per_page() as u32;
@@ -219,7 +213,7 @@ impl DramCacheModel for GeminiCache {
                 .push(MemOp::read(MemTarget::Stacked, self.cold_addr(set, tag), 1));
             if promote {
                 let info = self.cold.remove(set, tag).expect("entry just hit");
-                let mut background = Vec::new();
+                let mut background = OpList::new();
                 self.promote(page, info, &mut background);
                 plan.background.append(&mut background);
             }
@@ -238,7 +232,7 @@ impl DramCacheModel for GeminiCache {
         let mut info = PageInfo::default();
         info.touched.insert(offset);
         if let Some((victim_tag, victim)) = self.cold.insert(set, tag, info) {
-            let mut background = Vec::new();
+            let mut background = OpList::new();
             self.evict_cold(set, victim_tag, victim, &mut background);
             plan.background.append(&mut background);
         }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod alloy;
+mod arena;
 mod banshee;
 mod block;
 mod design;
@@ -57,10 +58,11 @@ mod sram;
 mod subblock;
 
 pub use alloy::AlloyCache;
+pub use arena::{PageArena, PageHandle};
 pub use banshee::BansheeCache;
 pub use block::BlockBasedCache;
 pub use design::{
-    sram_latency_cycles, CloneModel, DensityHistogram, DramCacheModel, DramCacheStats,
+    sram_latency_cycles, BoxedModel, CloneModel, DensityHistogram, DramCacheModel, DramCacheStats,
     PredictionCounters, StorageItem,
 };
 pub use gemini::GeminiCache;
@@ -68,7 +70,7 @@ pub use hotpage::HotPageCache;
 pub use ideal::{IdealCache, NoCache};
 pub use missmap::MissMap;
 pub use page::{PageBasedCache, WritebackGranularity};
-pub use plan::{AccessPlan, MemOp, MemTarget, OpFlavor};
+pub use plan::{AccessPlan, MemOp, MemTarget, OpFlavor, OpList};
 pub use setassoc::SetAssoc;
 pub use sram::{SramCache, SramOutcome};
 pub use subblock::SubBlockCache;

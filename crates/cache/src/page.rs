@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use fc_types::{Footprint, MemAccess, PageAddr, PageGeometry, PhysAddr};
 
 use crate::design::{sram_latency_cycles, DramCacheModel, DramCacheStats, StorageItem};
-use crate::plan::{AccessPlan, MemOp, MemTarget};
+use crate::plan::{AccessPlan, MemOp, MemTarget, OpList};
 use crate::setassoc::SetAssoc;
 
 /// Associativity of the page tag array (also used by Footprint Cache).
@@ -115,7 +115,7 @@ impl PageBasedCache {
     }
 
     /// Emits eviction traffic for a victim page and records its density.
-    fn evict(&mut self, set: usize, victim_tag: u64, info: PageInfo, background: &mut Vec<MemOp>) {
+    fn evict(&mut self, set: usize, victim_tag: u64, info: PageInfo, background: &mut OpList) {
         self.stats.evictions += 1;
         self.stats.density.record(info.touched.len());
         if info.dirty.is_empty() {

@@ -84,6 +84,183 @@ impl MemOp {
     }
 }
 
+/// Inline capacity of an [`OpList`]. Plans almost never carry more ops
+/// than this (a Footprint Cache miss is ≤1 critical + ≤3 background
+/// ops), so the hot path performs no heap allocation at all.
+const INLINE_OPS: usize = 4;
+
+/// Filler for unused inline slots (never observable: `len` bounds every
+/// read).
+const NIL_OP: MemOp = MemOp {
+    target: MemTarget::Stacked,
+    addr: PhysAddr::new(0),
+    kind: AccessKind::Read,
+    blocks: 0,
+    flavor: OpFlavor::Simple,
+};
+
+/// A small-vector of [`MemOp`]s: up to [`INLINE_OPS`] ops live inline in
+/// the plan itself; longer lists spill to the heap. This is the hot-path
+/// container — per-access plans are built and dropped millions of times
+/// per simulated interval, and the inline representation keeps that
+/// malloc-free for every design in the registry.
+///
+/// Equality and ordering of ops are representation-independent: an
+/// inline list equals a spilled list with the same ops.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct OpList {
+    /// Valid prefix length of `inline`; unused once spilled.
+    len: u8,
+    inline: [MemOp; INLINE_OPS],
+    /// Empty until the list outgrows `inline`; then holds *all* ops.
+    spill: Vec<MemOp>,
+}
+
+impl OpList {
+    /// An empty list (no heap allocation).
+    pub const fn new() -> Self {
+        Self {
+            len: 0,
+            inline: [NIL_OP; INLINE_OPS],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: MemOp) {
+        if self.spill.is_empty() && (self.len as usize) < INLINE_OPS {
+            self.inline[self.len as usize] = op;
+            self.len += 1;
+            return;
+        }
+        self.spill_out();
+        self.spill.push(op);
+    }
+
+    /// Moves every op out of `other` onto the end of this list (the
+    /// `Vec::append` idiom designs use to merge staged eviction
+    /// traffic).
+    pub fn append(&mut self, other: &mut OpList) {
+        for &op in other.as_slice() {
+            self.push(op);
+        }
+        other.clear();
+    }
+
+    /// Removes all ops, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.len as usize
+        } else {
+            self.spill.len()
+        }
+    }
+
+    /// Whether the list holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+
+    /// The ops as a slice, in insertion order.
+    pub fn as_slice(&self) -> &[MemOp] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Iterates the ops in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemOp> {
+        self.as_slice().iter()
+    }
+
+    /// Moves the inline ops into `spill` so pushes can grow unbounded.
+    fn spill_out(&mut self) {
+        if self.spill.is_empty() {
+            self.spill.reserve(2 * INLINE_OPS);
+            self.spill
+                .extend_from_slice(&self.inline[..self.len as usize]);
+            self.len = 0;
+        }
+    }
+}
+
+impl Default for OpList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for OpList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for OpList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OpList {}
+
+impl std::ops::Index<usize> for OpList {
+    type Output = MemOp;
+
+    fn index(&self, index: usize) -> &MemOp {
+        &self.as_slice()[index]
+    }
+}
+
+impl From<Vec<MemOp>> for OpList {
+    fn from(ops: Vec<MemOp>) -> Self {
+        let mut list = Self::new();
+        if ops.len() > INLINE_OPS {
+            list.spill = ops;
+        } else {
+            for op in ops {
+                list.push(op);
+            }
+        }
+        list
+    }
+}
+
+impl FromIterator<MemOp> for OpList {
+    fn from_iter<I: IntoIterator<Item = MemOp>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for op in iter {
+            list.push(op);
+        }
+        list
+    }
+}
+
+impl Extend<MemOp> for OpList {
+    fn extend<I: IntoIterator<Item = MemOp>>(&mut self, iter: I) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a OpList {
+    type Item = &'a MemOp;
+    type IntoIter = std::slice::Iter<'a, MemOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The DRAM work one cache access implies.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessPlan {
@@ -95,9 +272,9 @@ pub struct AccessPlan {
     /// SRAM lookup cycles on the critical path (tag array, MissMap).
     pub tag_latency: u32,
     /// Serialized ops that determine the request's latency.
-    pub critical: Vec<MemOp>,
+    pub critical: OpList,
     /// Concurrent ops charged to bank/bus/energy only.
-    pub background: Vec<MemOp>,
+    pub background: OpList,
 }
 
 impl AccessPlan {
@@ -108,8 +285,8 @@ impl AccessPlan {
             hit,
             bypass: false,
             tag_latency,
-            critical: Vec::new(),
-            background: Vec::new(),
+            critical: OpList::new(),
+            background: OpList::new(),
         }
     }
 
@@ -153,12 +330,13 @@ mod tests {
             hit: false,
             bypass: false,
             tag_latency: 4,
-            critical: vec![MemOp::read(MemTarget::OffChip, PhysAddr::new(0), 1)],
+            critical: vec![MemOp::read(MemTarget::OffChip, PhysAddr::new(0), 1)].into(),
             background: vec![
                 MemOp::read(MemTarget::OffChip, PhysAddr::new(64), 11),
                 MemOp::write(MemTarget::Stacked, PhysAddr::new(0), 12),
                 MemOp::write(MemTarget::OffChip, PhysAddr::new(4096), 3),
-            ],
+            ]
+            .into(),
         };
         assert_eq!(plan.offchip_read_blocks(), 12);
         assert_eq!(plan.offchip_write_blocks(), 3);
@@ -181,5 +359,55 @@ mod tests {
         let plan = AccessPlan::tag_only(true, 9);
         assert!(plan.hit && plan.critical.is_empty() && plan.background.is_empty());
         assert_eq!(plan.tag_latency, 9);
+    }
+
+    #[test]
+    fn oplist_spills_past_inline_capacity() {
+        let mut list = OpList::new();
+        let ops: Vec<MemOp> = (0..9)
+            .map(|i| MemOp::read(MemTarget::OffChip, PhysAddr::new(i * 64), 1))
+            .collect();
+        for (i, op) in ops.iter().enumerate() {
+            list.push(*op);
+            assert_eq!(list.len(), i + 1);
+        }
+        assert_eq!(list.as_slice(), &ops[..]);
+        assert_eq!(list[7], ops[7]);
+    }
+
+    #[test]
+    fn oplist_equality_and_debug_follow_content() {
+        let ops: Vec<MemOp> = (0..3)
+            .map(|i| MemOp::write(MemTarget::Stacked, PhysAddr::new(i * 64), 2))
+            .collect();
+        let a: OpList = ops.iter().copied().collect();
+        let b: OpList = ops.clone().into();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c: OpList = ops[..2].iter().copied().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oplist_append_drains_the_source() {
+        let mut a: OpList = vec![MemOp::read(MemTarget::OffChip, PhysAddr::new(0), 1)].into();
+        let mut b: OpList = (0..5)
+            .map(|i| MemOp::write(MemTarget::Stacked, PhysAddr::new(i * 64), 1))
+            .collect();
+        a.append(&mut b);
+        assert_eq!(a.len(), 6);
+        assert!(b.is_empty());
+        // Spilled source, inline destination and vice versa round-trip
+        // through From<Vec> identically.
+        let direct: OpList = vec![
+            MemOp::read(MemTarget::OffChip, PhysAddr::new(0), 1),
+            MemOp::write(MemTarget::Stacked, PhysAddr::new(0), 1),
+            MemOp::write(MemTarget::Stacked, PhysAddr::new(64), 1),
+            MemOp::write(MemTarget::Stacked, PhysAddr::new(128), 1),
+            MemOp::write(MemTarget::Stacked, PhysAddr::new(192), 1),
+            MemOp::write(MemTarget::Stacked, PhysAddr::new(256), 1),
+        ]
+        .into();
+        assert_eq!(a, direct);
     }
 }

@@ -7,7 +7,7 @@ use fc_types::{BlockStateVec, MemAccess, PageAddr, PageGeometry, PhysAddr};
 
 use crate::design::{sram_latency_cycles, DramCacheModel, DramCacheStats, StorageItem};
 use crate::page::PAGE_WAYS;
-use crate::plan::{AccessPlan, MemOp, MemTarget};
+use crate::plan::{AccessPlan, MemOp, MemTarget, OpList};
 use crate::setassoc::SetAssoc;
 
 /// Bits per entry: page tag + valid/dirty bit vectors (32+32) + LRU.
@@ -67,7 +67,7 @@ impl SubBlockCache {
         PhysAddr::new(slot * self.geom.page_size() as u64)
     }
 
-    fn evict(&mut self, set: usize, victim_tag: u64, states: BlockStateVec, bg: &mut Vec<MemOp>) {
+    fn evict(&mut self, set: usize, victim_tag: u64, states: BlockStateVec, bg: &mut OpList) {
         self.stats.evictions += 1;
         self.stats.density.record(states.demanded().len());
         let dirty = states.dirty();
@@ -130,7 +130,7 @@ impl DramCacheModel for SubBlockCache {
         let mut states = BlockStateVec::new();
         states.demand_read(offset);
         if let Some((victim_tag, victim)) = self.tags.insert(set, tag, states) {
-            let mut bg = Vec::new();
+            let mut bg = OpList::new();
             self.evict(set, victim_tag, victim, &mut bg);
             plan.background.append(&mut bg);
         }

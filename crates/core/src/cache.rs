@@ -19,8 +19,8 @@
 //! demanded vector trains the FHT and the prediction quality metrics.
 
 use fc_cache::{
-    sram_latency_cycles, AccessPlan, DramCacheModel, DramCacheStats, MemOp, MemTarget, SetAssoc,
-    StorageItem,
+    sram_latency_cycles, AccessPlan, DramCacheModel, DramCacheStats, MemOp, MemTarget, OpList,
+    SetAssoc, StorageItem,
 };
 use fc_types::{BlockStateVec, Footprint, MemAccess, PageAddr, PhysAddr};
 
@@ -142,7 +142,7 @@ impl FootprintCache {
 
     /// Processes a victim page: density accounting, FHT feedback,
     /// prediction metrics, dirty writeback traffic.
-    fn evict(&mut self, set: usize, victim_tag: u64, entry: PageEntry, bg: &mut Vec<MemOp>) {
+    fn evict(&mut self, set: usize, victim_tag: u64, entry: PageEntry, bg: &mut OpList) {
         self.stats.evictions += 1;
         let demanded = entry.states.demanded();
         self.stats.density.record(demanded.len());
@@ -210,7 +210,7 @@ impl FootprintCache {
             fht_key,
         };
         if let Some((victim_tag, victim)) = self.tags.insert(set, tag, entry) {
-            let mut bg = Vec::new();
+            let mut bg = OpList::new();
             self.evict(set, victim_tag, victim, &mut bg);
             plan.background.append(&mut bg);
         }
@@ -271,7 +271,7 @@ impl FootprintCache {
                 victims.push((set, tag));
             }
         }
-        let mut bg = Vec::new();
+        let mut bg = OpList::new();
         for (set, tag) in victims {
             if let Some(entry) = self.tags.remove(set, tag) {
                 self.evict(set, tag, entry, &mut bg);

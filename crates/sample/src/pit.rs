@@ -146,16 +146,12 @@ pub fn run_interval(
     }
     {
         let _span = fc_obs::trace::span("detailed-warmup", "sample");
-        for r in &records[fw_end..dw_end] {
-            sim.step(r);
-        }
+        sim.step_slice(&records[fw_end..dw_end]);
     }
     let snapshot = sim.snapshot();
     let delta = {
         let _span = fc_obs::trace::span("measured", "sample");
-        for r in &records[dw_end..iv_end] {
-            sim.step(r);
-        }
+        sim.step_slice(&records[dw_end..iv_end]);
         SimReport::since(&sim, &snapshot)
     };
     IntervalSample::from_report(k, layout.interval_start(plan, warmup, k), &delta)

@@ -7,11 +7,56 @@
 //! * [`page_density`] — a standalone density measurement (Figure 4 uses
 //!   the cache-eviction histograms, but tests use this to validate the
 //!   generators).
+//!
+//! Per-page accumulators live in a [`PageArena`] behind dense handles —
+//! the same index-chased storage the cache layer uses — built from one
+//! sort of the reference stream, so neither analysis keeps a hash map
+//! keyed by page id.
 
-use std::collections::HashMap;
-
+use fc_cache::{PageArena, PageHandle};
 use fc_trace::TraceRecord;
-use fc_types::{FnvBuildHasher, PageGeometry};
+use fc_types::PageGeometry;
+
+/// Per-page accumulator: demand count plus the touched-block bitmask.
+#[derive(Clone, Copy, Debug, Default)]
+struct PageAccum {
+    count: u64,
+    mask: u64,
+}
+
+/// Folds a record stream into one arena slot per distinct page.
+///
+/// One pass extracts `(page, block-offset)` pairs, a sort groups them
+/// into per-page runs, and each run accumulates through its arena
+/// handle — page ids are compared, never hashed. Returns the arena and
+/// the total reference count.
+fn per_page_accumulate<I: IntoIterator<Item = TraceRecord>>(
+    records: I,
+    geom: PageGeometry,
+) -> (PageArena<PageAccum>, u64) {
+    let mut refs: Vec<(u64, u8)> = records
+        .into_iter()
+        .map(|r| (geom.page_of(r.addr).raw(), geom.block_offset(r.addr) as u8))
+        .collect();
+    let total = refs.len() as u64;
+    refs.sort_unstable();
+    let mut arena = PageArena::new();
+    let mut run: Option<(u64, PageHandle)> = None;
+    for (page, offset) in refs {
+        let handle = match run {
+            Some((p, h)) if p == page => h,
+            _ => {
+                let h = arena.insert(PageAccum::default());
+                run = Some((page, h));
+                h
+            }
+        };
+        let acc = arena.get_mut(handle).expect("handle from this arena");
+        acc.count += 1;
+        acc.mask |= 1u64 << offset;
+    }
+    (arena, total)
+}
 
 /// Points of Figure 12: for each requested coverage fraction, the ideal
 /// cache size in MB needed to capture that fraction of accesses with
@@ -21,17 +66,8 @@ pub fn coverage_curve<I: IntoIterator<Item = TraceRecord>>(
     page_size: usize,
     fractions: &[f64],
 ) -> Vec<(f64, f64)> {
-    let geom = PageGeometry::new(page_size);
-    // FNV-keyed: this map is hit once per record, and page numbers come
-    // from the simulation itself, so the cheap non-DoS-resistant hash
-    // is the right trade.
-    let mut counts: HashMap<u64, u64, FnvBuildHasher> = HashMap::default();
-    let mut total: u64 = 0;
-    for r in records {
-        *counts.entry(geom.page_of(r.addr).raw()).or_default() += 1;
-        total += 1;
-    }
-    let mut per_page: Vec<u64> = counts.into_values().collect();
+    let (arena, total) = per_page_accumulate(records, PageGeometry::new(page_size));
+    let mut per_page: Vec<u64> = arena.iter().map(|acc| acc.count).collect();
     per_page.sort_unstable_by(|a, b| b.cmp(a));
 
     let mut out = Vec::with_capacity(fractions.len());
@@ -60,16 +96,10 @@ pub fn page_density<I: IntoIterator<Item = TraceRecord>>(
     records: I,
     page_size: usize,
 ) -> fc_cache::DensityHistogram {
-    let geom = PageGeometry::new(page_size);
-    let mut touched: HashMap<u64, u64, FnvBuildHasher> = HashMap::default();
-    for r in records {
-        let page = geom.page_of(r.addr).raw();
-        let offset = geom.block_offset(r.addr);
-        *touched.entry(page).or_default() |= 1u64 << offset;
-    }
+    let (arena, _) = per_page_accumulate(records, PageGeometry::new(page_size));
     let mut hist = fc_cache::DensityHistogram::default();
-    for bits in touched.values() {
-        hist.record(bits.count_ones() as usize);
+    for acc in arena.iter() {
+        hist.record(acc.mask.count_ones() as usize);
     }
     hist
 }
@@ -120,6 +150,16 @@ mod tests {
         // Page 0: blocks {0,1,2} -> 2-3 bin; page 1: one block.
         assert_eq!(hist.bins()[1], 1);
         assert_eq!(hist.bins()[0], 1);
+    }
+
+    #[test]
+    fn one_arena_slot_per_distinct_page() {
+        // Interleaved revisits of three pages must not open new slots.
+        let records = vec![rec(0), rec(4096), rec(0), rec(8192), rec(4096), rec(0)];
+        let (arena, total) = per_page_accumulate(records, PageGeometry::new(4096));
+        assert_eq!(arena.len(), 3);
+        assert_eq!(total, 6);
+        assert_eq!(arena.iter().map(|a| a.count).sum::<u64>(), 6);
     }
 
     #[test]

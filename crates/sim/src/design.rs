@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::json::{escape, JsonValue};
 use crate::memsys::MemorySystem;
+use crate::model::DesignModel;
 
 /// A named DRAM configuration from Table 3 that a [`DramSpec`] starts
 /// from.
@@ -588,49 +589,48 @@ impl DesignSpec {
         }
     }
 
-    /// Instantiates the design's cache model and DRAM systems.
+    /// Instantiates the design's cache model (as an enum-dispatched
+    /// [`DesignModel`] — no boxing, no vtable on the hot path) and DRAM
+    /// systems.
     pub fn build(&self) -> MemorySystem {
-        let cache: Box<dyn fc_cache::DramCacheModel + Send + Sync> = match self.cache {
-            CacheSpec::None => Box::new(NoCache::new()),
-            CacheSpec::Ideal => Box::new(IdealCache::new()),
-            CacheSpec::Block { mb } => Box::new(BlockBasedCache::new(mb << 20)),
+        let cache: DesignModel = match self.cache {
+            CacheSpec::None => NoCache::new().into(),
+            CacheSpec::Ideal => IdealCache::new().into(),
+            CacheSpec::Block { mb } => BlockBasedCache::new(mb << 20).into(),
             CacheSpec::Page {
                 mb,
                 page_bytes,
                 writeback,
-            } => Box::new(PageBasedCache::with_granularity(
+            } => PageBasedCache::with_granularity(
                 mb << 20,
                 PageGeometry::new(page_bytes as usize),
                 writeback,
-            )),
-            CacheSpec::Footprint { config } => Box::new(FootprintCache::new(config)),
-            CacheSpec::SubBlock { mb, page_bytes } => Box::new(SubBlockCache::new(
-                mb << 20,
-                PageGeometry::new(page_bytes as usize),
-            )),
+            )
+            .into(),
+            CacheSpec::Footprint { config } => FootprintCache::new(config).into(),
+            CacheSpec::SubBlock { mb, page_bytes } => {
+                SubBlockCache::new(mb << 20, PageGeometry::new(page_bytes as usize)).into()
+            }
             CacheSpec::HotPage {
                 mb,
                 page_bytes,
                 threshold,
-            } => Box::new(HotPageCache::new(
-                mb << 20,
-                PageGeometry::new(page_bytes as usize),
-                threshold,
-            )),
-            CacheSpec::Alloy { mb } => Box::new(AlloyCache::new(mb << 20)),
-            CacheSpec::Banshee { mb, page_bytes } => Box::new(BansheeCache::new(
-                mb << 20,
-                PageGeometry::new(page_bytes as usize),
-            )),
+            } => HotPageCache::new(mb << 20, PageGeometry::new(page_bytes as usize), threshold)
+                .into(),
+            CacheSpec::Alloy { mb } => AlloyCache::new(mb << 20).into(),
+            CacheSpec::Banshee { mb, page_bytes } => {
+                BansheeCache::new(mb << 20, PageGeometry::new(page_bytes as usize)).into()
+            }
             CacheSpec::Gemini {
                 mb,
                 page_bytes,
                 promote_hits,
-            } => Box::new(GeminiCache::new(
+            } => GeminiCache::new(
                 mb << 20,
                 PageGeometry::new(page_bytes as usize),
                 promote_hits,
-            )),
+            )
+            .into(),
         };
         MemorySystem::new(
             cache,

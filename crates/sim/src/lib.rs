@@ -40,11 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod batch;
 mod config;
 mod design;
 mod engine;
 pub mod loaded;
 mod memsys;
+mod model;
 pub mod registry;
 mod report;
 
@@ -53,10 +55,12 @@ mod report;
 // `fc_sim::json` keeps working for existing callers.
 pub use fc_types::json;
 
+pub use batch::{RecordBatch, BATCH_RECORDS};
 pub use config::SimConfig;
 pub use design::{CacheSpec, DesignSpec, DramPreset, DramSpec};
 pub use engine::{Checkpoint, Simulation};
 pub use memsys::{MemorySystem, MemsysTimeline};
+pub use model::DesignModel;
 pub use registry::{design_family, resolve_designs, DesignFamily, DESIGN_FAMILIES};
 pub use report::{
     consolidation, ConsolidationReport, CorePerf, EnergyReport, ReportSnapshot, SimReport,

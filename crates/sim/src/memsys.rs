@@ -6,6 +6,8 @@ use fc_cache::{AccessPlan, DramCacheModel, MemOp, MemTarget, OpFlavor};
 use fc_dram::{BoundedQueue, DramConfig, DramStats, DramSystem, EnergyBreakdown};
 use fc_types::{MemAccess, PhysAddr, BLOCK_SIZE};
 
+use crate::model::DesignModel;
+
 /// The MSHR-style outstanding-request window shared by every requester
 /// below the L2: demand accesses, fills, and writebacks each occupy one
 /// entry from acceptance until their last DRAM operation completes.
@@ -118,7 +120,9 @@ impl MemsysTimeline {
 /// A complete pod memory system below the L2.
 #[derive(Clone)]
 pub struct MemorySystem {
-    cache: Box<dyn DramCacheModel + Send + Sync>,
+    /// Enum-dispatched on the hot path ([`DesignModel`]); boxed dyn
+    /// models enter through its `Extension` variant.
+    cache: DesignModel,
     stacked: Option<DramSystem>,
     offchip: DramSystem,
     window: RequestWindow,
@@ -132,14 +136,17 @@ impl MemorySystem {
     pub const DEFAULT_WINDOW: usize = 64;
 
     /// Assembles a memory system. `stacked` is `None` for the baseline
-    /// (no die-stacked DRAM).
+    /// (no die-stacked DRAM). Accepts anything convertible into a
+    /// [`DesignModel`]: a concrete model (`FootprintCache::new(cfg)`,
+    /// enum-dispatched) or a [`fc_cache::BoxedModel`] (dyn-dispatched
+    /// through the extension hatch).
     pub fn new(
-        cache: Box<dyn DramCacheModel + Send + Sync>,
+        cache: impl Into<DesignModel>,
         stacked: Option<DramConfig>,
         offchip: DramConfig,
     ) -> Self {
         Self {
-            cache,
+            cache: cache.into(),
             stacked: stacked.map(DramSystem::new),
             offchip: DramSystem::new(offchip),
             window: RequestWindow::new(Self::DEFAULT_WINDOW),
@@ -165,7 +172,7 @@ impl MemorySystem {
 
     /// The cache design.
     pub fn cache(&self) -> &(dyn DramCacheModel + Send + Sync) {
-        self.cache.as_ref()
+        self.cache.as_dyn()
     }
 
     /// Off-chip DRAM counters.

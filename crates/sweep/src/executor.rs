@@ -245,9 +245,7 @@ impl SweepEngine {
                     records[..(warmup + measured) as usize].split_at(warmup as usize);
                 {
                     let _span = trace::span("detailed-warmup", "sweep");
-                    for r in warm {
-                        sim.step(r);
-                    }
+                    sim.step_slice(warm);
                     sim.drain();
                 }
                 let snapshot = sim.snapshot();

@@ -7,6 +7,44 @@
 //! YCSB's `ZipfianGenerator`): O(n) construction, O(1) sampling.
 
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Process-wide memo of computed `zeta(n, theta)` values.
+///
+/// A 16-core pod constructs one `Zipf` per core per popularity class
+/// over identical `(n, theta)` pairs, and `zeta` walks up to a million
+/// `powf` terms per call — memoizing turns all but the first
+/// construction per pair into a map probe. Keyed on `theta.to_bits()`
+/// so equal inputs hit the exact cached f64 (bit-identical results by
+/// construction).
+static ZETA_MEMO: Mutex<Option<HashMap<(u64, u64), f64>>> = Mutex::new(None);
+
+/// `(n, theta bits, zeta bits)` for every Zipf class in the default
+/// workload models, seeding the memo so no process ever pays the
+/// million-term sum for a stock workload. Each entry is asserted
+/// bit-identical to the direct computation by
+/// `baked_zeta_is_bit_identical`; regenerate with
+/// `cargo test -p fc-trace dump_baked_zeta -- --ignored --nocapture`
+/// after changing a workload's page counts or thetas (stale entries
+/// are harmless — they just stop matching and the sum runs again).
+const BAKED_ZETA: &[(u64, u64, u64)] = &[
+    (12_000, 0x3fd3333333333333, 0x408ff98c13104ee2), // theta=0.30
+    (128_000, 0x3feccccccccccccd, 0x4036fba7e44e1aeb), // theta=0.90
+    (500_000, 0x3fe3333333333333, 0x407d9f604fcae358), // theta=0.60
+    (512_000, 0x3fe6666666666666, 0x406528c1dd85686b), // theta=0.70
+    (2_000_000, 0x3fe8000000000000, 0x40625f738a8abeec), // theta=0.75
+    (2_000_000, 0x3fe999999999999a, 0x4055a5cdb20f642e), // theta=0.80
+    (4_000_000, 0x3feb333333333333, 0x404d8c2a4b0b2246), // theta=0.85
+    (5_000_000, 0x3fe3333333333333, 0x4092a5f3cd9282f0), // theta=0.60
+];
+
+fn seeded_memo() -> HashMap<(u64, u64), f64> {
+    BAKED_ZETA
+        .iter()
+        .map(|&(n, theta_bits, zeta_bits)| ((n, theta_bits), f64::from_bits(zeta_bits)))
+        .collect()
+}
 
 /// Samples page indices in `0..n` with probability ∝ `1/(k+1)^theta`.
 #[derive(Clone, Debug)]
@@ -45,6 +83,18 @@ impl Zipf {
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
+        let key = (n, theta.to_bits());
+        let mut memo = ZETA_MEMO.lock().expect("zeta memo poisoned");
+        let memo = memo.get_or_insert_with(seeded_memo);
+        if let Some(&z) = memo.get(&key) {
+            return z;
+        }
+        let z = Self::zeta_uncached(n, theta);
+        memo.insert(key, z);
+        z
+    }
+
+    fn zeta_uncached(n: u64, theta: f64) -> f64 {
         // Exact sum for small n; integral approximation of the tail for
         // large n keeps construction fast for multi-million-page regions.
         const EXACT: u64 = 1_000_000;
@@ -144,6 +194,17 @@ mod tests {
     }
 
     #[test]
+    fn memoized_zeta_is_bit_identical() {
+        for (n, theta) in [(1_000u64, 0.37), (5_000_000, 0.91)] {
+            // First call may populate the memo, second must hit it;
+            // both must equal the direct computation bit-for-bit.
+            let direct = Zipf::zeta_uncached(n, theta);
+            assert_eq!(Zipf::zeta(n, theta).to_bits(), direct.to_bits());
+            assert_eq!(Zipf::zeta(n, theta).to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "non-empty")]
     fn rejects_empty_range() {
         Zipf::new(0, 0.5);
@@ -153,5 +214,63 @@ mod tests {
     #[should_panic(expected = "theta")]
     fn rejects_theta_one() {
         Zipf::new(10, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod baked {
+    use super::*;
+    use crate::synth::{PageSelect, WorkloadKind};
+
+    /// Every Zipf class of every stock workload must have a baked zeta
+    /// entry, and every entry must match the direct computation
+    /// bit-for-bit — the table is a cache, never an approximation.
+    #[test]
+    fn baked_zeta_is_bit_identical() {
+        for &(n, theta_bits, zeta_bits) in BAKED_ZETA {
+            let direct = Zipf::zeta_uncached(n, f64::from_bits(theta_bits));
+            assert_eq!(
+                direct.to_bits(),
+                zeta_bits,
+                "stale baked zeta for n={n}: regenerate with dump_baked_zeta"
+            );
+        }
+        for k in WorkloadKind::ALL {
+            for c in &k.spec().classes {
+                if let PageSelect::Zipf(theta) = c.select {
+                    assert!(
+                        BAKED_ZETA
+                            .iter()
+                            .any(|&(n, tb, _)| n == c.pages && tb == theta.to_bits()),
+                        "{:?} class (pages={}, theta={theta}) missing a baked zeta entry",
+                        k,
+                        c.pages
+                    );
+                }
+            }
+        }
+    }
+
+    /// Regenerates the `BAKED_ZETA` table body (run with `--ignored
+    /// --nocapture`, paste the output over the table).
+    #[test]
+    #[ignore]
+    fn dump_baked_zeta() {
+        let mut pairs = std::collections::BTreeSet::new();
+        for k in WorkloadKind::ALL {
+            for c in &k.spec().classes {
+                if let PageSelect::Zipf(theta) = c.select {
+                    pairs.insert((c.pages, theta.to_bits()));
+                }
+            }
+        }
+        for (n, tb) in &pairs {
+            let theta = f64::from_bits(*tb);
+            let z = Zipf::zeta_uncached(*n, theta);
+            println!(
+                "    ({n}, {tb:#018x}, {:#018x}), // theta={theta:.2}",
+                z.to_bits()
+            );
+        }
     }
 }

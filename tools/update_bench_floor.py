@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Maintain and enforce the design-space throughput floor.
+
+The floor is the committed per-design geomean of points/sec from the
+`--grid designspace` bench (`bench_floor.json` at the repo root). CI
+re-measures and fails when the geomean regresses more than 10% below
+the floor; after a deliberate perf change (in either direction), the
+one-command ritual re-baselines it:
+
+    for i in 1 2 3; do \
+      cargo run --release -p fc-sweep --bin fc_sweep -- \
+        --grid designspace --scale tiny --capacities 64 \
+        --workloads "web search" --quiet --bench BENCH_$i.json; done && \
+    python3 tools/update_bench_floor.py BENCH_1.json BENCH_2.json BENCH_3.json
+
+Usage:
+    update: update_bench_floor.py BENCH.json [BENCH.json ...]
+    check:  update_bench_floor.py --check BENCH.json [BENCH.json ...]
+
+Multiple bench files are merged best-of-N per design before the
+geomean, which absorbs single-run scheduler noise.
+"""
+
+import json
+import math
+import os
+import sys
+
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "..", "bench_floor.json")
+REGRESSION_BUDGET = 0.10
+
+
+def best_per_design(paths):
+    best = {}
+    for path in paths:
+        with open(path) as f:
+            payload = json.load(f)
+        for entry in payload["designs"]:
+            name = entry["design"]
+            best[name] = max(best.get(name, 0.0), entry["points_per_sec"])
+    if not best:
+        sys.exit("no per-design bench entries found")
+    return best
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv):
+    check = "--check" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    if not paths:
+        sys.exit(__doc__)
+    best = best_per_design(paths)
+    measured = geomean(best.values())
+
+    if not check:
+        floor = {
+            "geomean_points_per_sec": measured,
+            "designs": {k: best[k] for k in sorted(best)},
+            "note": "Design-space bench floor (per-design geomean of "
+            "points/sec, best-of-N). CI fails when a run regresses >10% "
+            "below the geomean; re-baseline with "
+            "tools/update_bench_floor.py after deliberate perf changes.",
+        }
+        with open(FLOOR_PATH, "w") as f:
+            json.dump(floor, f, indent=2)
+            f.write("\n")
+        print(f"floor updated: geomean {measured:.2f} pts/s "
+              f"over {len(best)} designs -> {os.path.normpath(FLOOR_PATH)}")
+        return
+
+    with open(FLOOR_PATH) as f:
+        floor = json.load(f)
+    committed = floor["geomean_points_per_sec"]
+    cutoff = committed * (1.0 - REGRESSION_BUDGET)
+    print(f"measured geomean {measured:.2f} pts/s "
+          f"(floor {committed:.2f}, cutoff {cutoff:.2f})")
+    for name in sorted(best):
+        ref = floor.get("designs", {}).get(name)
+        rel = f"  ({best[name] / ref:5.2f}x floor)" if ref else ""
+        print(f"  {name:<30} {best[name]:10.2f} pts/s{rel}")
+    if measured < cutoff:
+        print(
+            "\nFAIL: design-space throughput regressed more than "
+            f"{REGRESSION_BUDGET:.0%} below the committed floor.\n"
+            "If this regression is intentional (or the floor is stale "
+            "for this machine), re-baseline with:\n\n"
+            "  for i in 1 2 3; do cargo run --release -p fc-sweep "
+            "--bin fc_sweep -- --grid designspace --scale tiny "
+            '--capacities 64 --workloads "web search" --quiet '
+            "--bench BENCH_$i.json; done && "
+            "python3 tools/update_bench_floor.py "
+            "BENCH_1.json BENCH_2.json BENCH_3.json\n"
+        )
+        sys.exit(1)
+    if measured > committed:
+        print("note: measured geomean beats the floor — consider "
+              "ratcheting it up with tools/update_bench_floor.py")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
