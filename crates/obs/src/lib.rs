@@ -2,9 +2,9 @@
 //!
 //! The sweep stack runs thousands of grid points through a parallel
 //! executor, sampled replay, and a queued memory engine; this crate is
-//! the shared measurement substrate all of them report into. Three
-//! pillars, all hand-rolled on `std` (the container vendors no tracing
-//! or metrics crates):
+//! the shared measurement substrate all of them report into. The batch
+//! pillars, all hand-rolled on `std` plus `fc-types` (the container
+//! vendors no tracing or metrics crates):
 //!
 //! * [`trace`] — scoped spans collected in thread-local buffers (one
 //!   lock-free lane per worker thread) and exported as Chrome
@@ -20,6 +20,19 @@
 //!   cargo feature. With the feature off, [`TimeSeries`] is a
 //!   zero-sized type whose methods compile to nothing, so default
 //!   builds carry the instrumentation points at zero cost.
+//!
+//! Long-running services get a runtime half on top of the registry:
+//!
+//! * [`window`] — rolling-window views (a ring of timestamped
+//!   snapshot deltas) turning cumulative totals into rates-per-second
+//!   and windowed histograms, driven by an explicit
+//!   [`Clock`](fc_types::Clock) so tests are deterministic.
+//! * [`expo`] — Prometheus-style text exposition of a snapshot plus
+//!   the `health.json` heartbeat
+//!   (starting/serving/degraded/draining), both written atomically.
+//! * [`watchdog`] — compares windowed per-design fresh-points/sec
+//!   against the committed `bench_floor.json` and flags sustained
+//!   below-floor throughput as degradation.
 //!
 //! [`Provenance`] rounds the crate out: a run manifest (seed, scale,
 //! thread count, design list, wall time, crate version, feature flags)
@@ -52,13 +65,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod metrics;
 mod provenance;
 pub mod series;
 pub mod trace;
+pub mod watchdog;
+pub mod window;
 
+pub use expo::{Health, HealthState};
 pub use provenance::Provenance;
 pub use series::TimeSeries;
+pub use watchdog::{FloorSpec, Watchdog, WatchdogVerdict};
+pub use window::MetricsWindow;
 
 /// Escapes a string for a JSON value position (the crate is
 /// dependency-free, so it carries its own tiny escaper).

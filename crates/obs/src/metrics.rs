@@ -142,13 +142,54 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
 }
 
 /// Looks up (registering on first use) the histogram named `name`.
-/// Bounds apply on first registration only; later calls reuse the
-/// existing histogram regardless of `bounds`.
+///
+/// **First-wins contract:** the bucket bounds are fixed by the first
+/// registration; later calls reuse the existing histogram and their
+/// `bounds` argument is ignored. Passing different bounds for the same
+/// name is a bug at the call site (the recorded distribution would
+/// silently land in someone else's buckets) and trips a
+/// `debug_assert`; call sites should share one bounds constant per
+/// metric.
 pub fn histogram(name: &'static str, bounds: &[u64]) -> &'static Histogram {
-    let mut reg = registry().lock().expect("metrics registry poisoned");
-    reg.histograms
-        .entry(name)
-        .or_insert_with(|| Box::leak(Box::new(Histogram::new(bounds))))
+    let h: &'static Histogram = {
+        let mut reg = registry().lock().expect("metrics registry poisoned");
+        reg.histograms
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::new(bounds))))
+    };
+    // Asserted outside the lock so a tripped assert cannot poison the
+    // registry for unrelated threads.
+    debug_assert_eq!(
+        h.bounds, bounds,
+        "histogram `{name}` re-registered with different bounds (first registration wins)"
+    );
+    h
+}
+
+/// Interned-name variants: the registry keys on `&'static str`, which
+/// static call sites get for free; call sites with *runtime* names
+/// (per-design counters like `sweep.fresh.<label>`) intern the name
+/// once here. The leak is bounded by the number of distinct metric
+/// names, which is bounded by the design registry.
+static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+
+/// Interns `name`, returning a `'static` copy (stable across calls).
+pub fn intern_name(name: &str) -> &'static str {
+    let mut map = INTERNED
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .expect("metric name intern table poisoned");
+    if let Some(s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+/// Looks up (registering on first use) a counter with a runtime name.
+pub fn counter_named(name: &str) -> &'static Counter {
+    counter(intern_name(name))
 }
 
 /// A histogram's state at snapshot time.
@@ -361,5 +402,37 @@ mod tests {
         let a = counter("test.metrics.same") as *const Counter;
         let b = counter("test.metrics.same") as *const Counter;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interned_names_share_one_counter() {
+        let label = format!("test.metrics.{}ed", "intern");
+        let a = counter_named(&label) as *const Counter;
+        let b = counter_named("test.metrics.interned") as *const Counter;
+        assert_eq!(a, b, "runtime and static spellings hit the same handle");
+        counter_named("test.metrics.interned").add(2);
+        assert_eq!(
+            snapshot().counter("test.metrics.interned"),
+            Some(counter("test.metrics.interned").get())
+        );
+    }
+
+    #[test]
+    fn histogram_bounds_are_first_wins() {
+        let h1 = histogram("test.metrics.firstwins", &[1, 2, 3]);
+        let h2 = histogram("test.metrics.firstwins", &[1, 2, 3]);
+        assert!(std::ptr::eq(h1, h2));
+        assert_eq!(
+            snapshot().histograms["test.metrics.firstwins"].bounds,
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered with different bounds")]
+    #[cfg(debug_assertions)]
+    fn histogram_bounds_mismatch_trips_debug_assert() {
+        histogram("test.metrics.mismatch", &[1, 2]);
+        histogram("test.metrics.mismatch", &[5, 6]);
     }
 }

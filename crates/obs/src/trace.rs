@@ -36,6 +36,9 @@ pub struct TraceEvent {
     pub cat: &'static str,
     /// Optional argument rendered under `args.label`.
     pub arg: Option<String>,
+    /// Request id in scope when the event was recorded (serve mode
+    /// sets it per request; rendered under `args.req`).
+    pub req: Option<String>,
     /// Lane (Chrome-trace `tid`) the event was recorded on.
     pub lane: u32,
     /// Start, in microseconds since the process trace epoch.
@@ -56,6 +59,23 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+/// The request id currently in scope (serve mode handles requests one
+/// at a time, so a process-wide cell covers every worker thread the
+/// executor fans the request out to).
+static REQUEST: Mutex<Option<String>> = Mutex::new(None);
+
+/// Sets (or clears) the request id tagged onto every span and instant
+/// recorded until the next call. Worker threads spawned while a
+/// request is in scope inherit the tag, which is how serve threads a
+/// request id through executor and store spans.
+pub fn set_request(id: Option<&str>) {
+    let mut req = REQUEST.lock().expect("trace request cell poisoned");
+    *req = id.map(str::to_string);
+}
+
+fn current_request() -> Option<String> {
+    REQUEST.lock().expect("trace request cell poisoned").clone()
+}
 
 fn sink() -> &'static Mutex<Sink> {
     SINK.get_or_init(|| {
@@ -151,6 +171,7 @@ struct SpanBody {
     name: &'static str,
     cat: &'static str,
     arg: Option<String>,
+    req: Option<String>,
     start_us: u64,
 }
 
@@ -160,6 +181,7 @@ impl Drop for Span {
             name,
             cat,
             arg,
+            req,
             start_us,
         }) = self.live.take()
         {
@@ -169,6 +191,7 @@ impl Drop for Span {
                     name,
                     cat,
                     arg,
+                    req,
                     lane: buf.lane,
                     start_us,
                     dur_us: end_us.saturating_sub(start_us),
@@ -191,6 +214,7 @@ pub fn span(name: &'static str, cat: &'static str) -> Span {
             name,
             cat,
             arg: None,
+            req: current_request(),
             start_us: now_us(),
         }),
     }
@@ -209,6 +233,7 @@ pub fn span_with(name: &'static str, cat: &'static str, arg: impl FnOnce() -> St
             name,
             cat,
             arg: Some(arg()),
+            req: current_request(),
             start_us: now_us(),
         }),
     }
@@ -222,11 +247,13 @@ pub fn instant(name: &'static str, cat: &'static str, arg: impl FnOnce() -> Stri
         return;
     }
     let ts = now_us();
+    let req = current_request();
     with_lane(|buf| {
         buf.events.push(TraceEvent {
             name,
             cat,
             arg: Some(arg()),
+            req,
             lane: buf.lane,
             start_us: ts,
             dur_us: 0,
@@ -260,15 +287,48 @@ pub fn take_events() -> (Vec<TraceEvent>, Vec<(u32, String)>) {
     (events, lanes)
 }
 
+/// A position in the event sink, for retroactive capture: everything
+/// recorded (and flushed) after a [`mark`] can later be cut out with
+/// [`take_since`]. Flushes the calling thread so the mark sits after
+/// its own pending events.
+pub fn mark() -> usize {
+    flush_thread();
+    sink().lock().expect("trace sink poisoned").events.len()
+}
+
+/// Removes and returns the events flushed since `mark` (sorted by
+/// start time) plus a copy of the lane-name table. The slow-request
+/// capture path uses this to dump one request's span buffer as a
+/// standalone trace *and* keep the long-running sink bounded: consumed
+/// events no longer accumulate. Flushes the calling thread first;
+/// worker-thread events are included as long as the workers flushed
+/// before the call (the executor flushes each worker at scope exit).
+pub fn take_since(mark: usize) -> (Vec<TraceEvent>, Vec<(u32, String)>) {
+    flush_thread();
+    let mut sink = sink().lock().expect("trace sink poisoned");
+    let at = mark.min(sink.events.len());
+    let mut events = sink.events.split_off(at);
+    let lanes = sink.lanes.clone();
+    events.sort_by_key(|e| (e.start_us, e.lane));
+    (events, lanes)
+}
+
 /// Drains the sink and renders Chrome trace-event JSON
 /// (`{"traceEvents": [...]}`), loadable in Perfetto or
 /// `chrome://tracing`. Lane names become `thread_name` metadata.
 pub fn chrome_trace_json() -> String {
     let (events, lanes) = take_events();
+    render_chrome_trace(&events, &lanes)
+}
+
+/// Renders an event list (plus lane-name metadata) as Chrome
+/// trace-event JSON — the shared back half of [`chrome_trace_json`]
+/// and the per-request slow-trace dumps.
+pub fn render_chrome_trace(events: &[TraceEvent], lanes: &[(u32, String)]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 256);
     out.push_str("{\"traceEvents\": [\n");
     let mut first = true;
-    for (lane, name) in &lanes {
+    for (lane, name) in lanes {
         if !first {
             out.push_str(",\n");
         }
@@ -279,15 +339,19 @@ pub fn chrome_trace_json() -> String {
             json_escape(name)
         ));
     }
-    for e in &events {
+    for e in events {
         if !first {
             out.push_str(",\n");
         }
         first = false;
-        let args = match &e.arg {
-            Some(a) => format!("{{\"label\": \"{}\"}}", json_escape(a)),
-            None => "{}".to_string(),
-        };
+        let mut fields: Vec<String> = Vec::with_capacity(2);
+        if let Some(a) = &e.arg {
+            fields.push(format!("\"label\": \"{}\"", json_escape(a)));
+        }
+        if let Some(r) = &e.req {
+            fields.push(format!("\"req\": \"{}\"", json_escape(r)));
+        }
+        let args = format!("{{{}}}", fields.join(", "));
         match e.phase {
             'i' => out.push_str(&format!(
                 "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \
@@ -352,6 +416,38 @@ mod tests {
         assert!(json.contains("\"thread_name\""));
         assert!(json.contains("\"tester\""));
         assert!(json.contains("\"ph\": \"i\""));
+    }
+
+    #[test]
+    fn request_context_tags_spans_and_take_since_cuts_a_window() {
+        let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let _drain = take_events();
+        enable();
+        {
+            let _before = span("outside", "test-req");
+        }
+        let at = mark();
+        set_request(Some("req-42"));
+        {
+            let _inside = span("inside", "test-req");
+            instant("inside-hit", "test-req", || "x".to_string());
+        }
+        set_request(None);
+        let (window, _lanes) = take_since(at);
+        let inside: Vec<_> = window.iter().filter(|e| e.cat == "test-req").collect();
+        assert_eq!(inside.len(), 2);
+        assert!(inside.iter().all(|e| e.req.as_deref() == Some("req-42")));
+        let json = render_chrome_trace(&window, &[]);
+        assert!(json.contains("\"req\": \"req-42\""));
+
+        // The window was consumed: the remaining sink holds only the
+        // pre-mark event, untagged.
+        disable();
+        let (rest, _) = take_events();
+        let rest: Vec<_> = rest.iter().filter(|e| e.cat == "test-req").collect();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].name, "outside");
+        assert_eq!(rest[0].req, None);
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The serve watchdog: windowed throughput vs the committed floor.
+//!
+//! `bench_floor.json` records the per-design points/sec the repo has
+//! committed to (the CI perf gate enforces it offline). A long-running
+//! `fc_sweep serve` should hold itself to the same floor *online*: the
+//! watchdog compares each design's fresh-points/sec over the rolling
+//! window against its floor, and after
+//! [`Watchdog::breach_windows`] consecutive below-floor windows
+//! declares the service degraded. Windows with no fresh work for a
+//! design are skipped — an idle service is not a degraded one.
+//!
+//! The per-design fresh-simulation counters the watchdog reads
+//! (`sweep.fresh.<design label>`) are published by the sweep executor;
+//! the floor file's `designs` map uses the same labels, so the two
+//! sides join on the design label with no extra mapping.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::window::MetricsWindow;
+use crate::{metrics, trace};
+
+/// Prefix of the per-design fresh-simulation counters the executor
+/// publishes and the watchdog evaluates: the full counter name is
+/// `sweep.fresh.<design label>`.
+pub const FRESH_COUNTER_PREFIX: &str = "sweep.fresh.";
+
+/// A parsed floor file (the shape of `bench_floor.json`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FloorSpec {
+    /// Grid-wide geomean floor, if the file carries one.
+    pub geomean_points_per_sec: Option<f64>,
+    /// Per-design floors, keyed by design label.
+    pub designs: BTreeMap<String, f64>,
+}
+
+impl FloorSpec {
+    /// Parses the `bench_floor.json` shape:
+    /// `{"geomean_points_per_sec": …, "designs": {"label": pts/sec}}`.
+    /// Unknown fields are ignored.
+    pub fn parse(text: &str) -> Result<FloorSpec, String> {
+        let v = fc_types::json::JsonValue::parse(text)?;
+        let geomean = match v.get("geomean_points_per_sec") {
+            Some(g) => Some(g.as_f64()?),
+            None => None,
+        };
+        let mut designs = BTreeMap::new();
+        if let Some(fc_types::json::JsonValue::Obj(fields)) = v.get("designs") {
+            for (label, floor) in fields {
+                designs.insert(label.clone(), floor.as_f64()?);
+            }
+        }
+        Ok(FloorSpec {
+            geomean_points_per_sec: geomean,
+            designs,
+        })
+    }
+
+    /// Reads and parses a floor file.
+    pub fn from_file(path: &Path) -> Result<FloorSpec, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read floor file {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+}
+
+/// One design observed below its floor in the current window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Breach {
+    /// Design label (the floor-file key).
+    pub design: String,
+    /// Fresh points/sec observed over the window.
+    pub observed: f64,
+    /// The committed floor for this design.
+    pub floor: f64,
+}
+
+/// The watchdog's view after one window evaluation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WatchdogVerdict {
+    /// Designs below floor this window (empty when healthy or idle).
+    pub breaches: Vec<Breach>,
+    /// Consecutive windows with at least one breach, including this
+    /// one.
+    pub consecutive_breaches: u32,
+    /// Whether the consecutive-breach threshold has been reached.
+    pub degraded: bool,
+}
+
+/// Compares windowed per-design fresh-points/sec against a
+/// [`FloorSpec`], with hysteresis: degradation requires
+/// `breach_windows` *consecutive* below-floor windows, and one healthy
+/// (or idle) window resets the streak.
+pub struct Watchdog {
+    floor: FloorSpec,
+    /// Fraction of the committed floor a window must reach (0 < m ≤ 1).
+    /// Serve answers mixed interactive grids while the floor was
+    /// benched on a dedicated sweep, so some slack is structural.
+    margin: f64,
+    /// Consecutive below-floor windows before the service is declared
+    /// degraded.
+    breach_windows: u32,
+    /// Minimum fresh points a design needs in the window before its
+    /// rate is judged at all. One small interactive request in an
+    /// otherwise idle window produces an arbitrarily low rate that
+    /// says nothing about throughput; too few samples is "idle", not
+    /// "slow".
+    min_samples: u64,
+    consecutive: u32,
+}
+
+impl Watchdog {
+    /// Default margin: a window must reach half the committed floor.
+    pub const DEFAULT_MARGIN: f64 = 0.5;
+
+    /// Default consecutive-breach threshold.
+    pub const DEFAULT_BREACH_WINDOWS: u32 = 3;
+
+    /// Default minimum fresh points per window for a design to be
+    /// judged.
+    pub const DEFAULT_MIN_SAMPLES: u64 = 4;
+
+    /// A watchdog over `floor` with the default margin and threshold.
+    pub fn new(floor: FloorSpec) -> Self {
+        Self {
+            floor,
+            margin: Self::DEFAULT_MARGIN,
+            breach_windows: Self::DEFAULT_BREACH_WINDOWS,
+            min_samples: Self::DEFAULT_MIN_SAMPLES,
+            consecutive: 0,
+        }
+    }
+
+    /// Sets the floor fraction a window must reach (clamped to
+    /// (0, 1]).
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Sets the consecutive-breach threshold (at least 1).
+    pub fn with_breach_windows(mut self, n: u32) -> Self {
+        self.breach_windows = n.max(1);
+        self
+    }
+
+    /// Sets the minimum fresh points a design needs in the window
+    /// before its rate is judged (at least 1).
+    pub fn with_min_samples(mut self, n: u64) -> Self {
+        self.min_samples = n.max(1);
+        self
+    }
+
+    /// The configured consecutive-breach threshold.
+    pub fn breach_windows(&self) -> u32 {
+        self.breach_windows
+    }
+
+    /// Evaluates one window. Designs with fewer than `min_samples`
+    /// fresh points in the window are skipped (idle ≠ degraded); a
+    /// window where every active design meets `margin × floor` resets
+    /// the breach streak. Each evaluated breach bumps the
+    /// `watchdog.breaches` counter and records a structured instant
+    /// event on the trace timeline.
+    pub fn evaluate(&mut self, window: &MetricsWindow) -> WatchdogVerdict {
+        let mut breaches = Vec::new();
+        for (label, &floor) in &self.floor.designs {
+            let counter = format!("{FRESH_COUNTER_PREFIX}{label}");
+            if window.windowed_counter(&counter) < self.min_samples {
+                continue;
+            }
+            let observed = window.rate_per_sec(&counter);
+            if observed < floor * self.margin {
+                breaches.push(Breach {
+                    design: label.clone(),
+                    observed,
+                    floor,
+                });
+            }
+        }
+        if breaches.is_empty() {
+            self.consecutive = 0;
+        } else {
+            self.consecutive = self.consecutive.saturating_add(1);
+            metrics::counter("watchdog.breaches").add(breaches.len() as u64);
+            for b in &breaches {
+                trace::instant("watchdog-breach", "watchdog", || {
+                    format!(
+                        "{}: {:.1} < floor {:.1} pts/s",
+                        b.design, b.observed, b.floor
+                    )
+                });
+            }
+        }
+        let degraded = self.consecutive >= self.breach_windows;
+        if degraded {
+            metrics::counter("watchdog.degraded_windows").inc();
+        }
+        WatchdogVerdict {
+            breaches,
+            consecutive_breaches: self.consecutive,
+            degraded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::MetricsWindow;
+    use fc_types::{Clock, ManualClock};
+    use std::sync::Arc;
+
+    fn floor_for(label: &str, floor: f64) -> FloorSpec {
+        let mut designs = BTreeMap::new();
+        designs.insert(label.to_string(), floor);
+        FloorSpec {
+            geomean_points_per_sec: None,
+            designs,
+        }
+    }
+
+    #[test]
+    fn parses_bench_floor_shape() {
+        let spec = FloorSpec::parse(
+            r#"{"geomean_points_per_sec": 480.5,
+                "designs": {"Baseline": 305.3, "Ideal": 1098.0},
+                "note": "ignored"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.geomean_points_per_sec, Some(480.5));
+        assert_eq!(spec.designs.len(), 2);
+        assert_eq!(spec.designs["Baseline"], 305.3);
+        assert!(FloorSpec::parse("not json").is_err());
+    }
+
+    #[test]
+    fn idle_windows_never_breach() {
+        let clock = Arc::new(ManualClock::at(0));
+        let mut w = MetricsWindow::new(60_000, Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut dog = Watchdog::new(floor_for("test-dog-idle", 1e9)).with_breach_windows(1);
+        clock.advance_ms(1_000);
+        w.tick();
+        let verdict = dog.evaluate(&w);
+        assert!(verdict.breaches.is_empty());
+        assert!(!verdict.degraded);
+    }
+
+    #[test]
+    fn sparse_windows_count_as_idle_not_slow() {
+        let clock = Arc::new(ManualClock::at(0));
+        let mut w = MetricsWindow::new(60_000, Arc::clone(&clock) as Arc<dyn Clock>);
+        let c = metrics::counter_named(&format!("{FRESH_COUNTER_PREFIX}test-dog-sparse"));
+        // Unreachable floor + single-window threshold: any judged
+        // window breaches; only the sample floor protects it.
+        let mut dog = Watchdog::new(floor_for("test-dog-sparse", 1e9)).with_breach_windows(1);
+
+        c.add(Watchdog::DEFAULT_MIN_SAMPLES - 1);
+        clock.advance_ms(1_000);
+        w.tick();
+        let v = dog.evaluate(&w);
+        assert!(v.breaches.is_empty(), "below min_samples is idle: {v:?}");
+
+        c.add(1);
+        clock.advance_ms(1_000);
+        w.tick();
+        assert!(
+            dog.evaluate(&w).degraded,
+            "at min_samples the rate is judged"
+        );
+    }
+
+    #[test]
+    fn consecutive_breaches_flip_and_recovery_resets() {
+        let clock = Arc::new(ManualClock::at(0));
+        let mut w = MetricsWindow::new(2_000, Arc::clone(&clock) as Arc<dyn Clock>);
+        let c = metrics::counter_named(&format!("{FRESH_COUNTER_PREFIX}test-dog-flip"));
+        // Floor 1000 pts/s, margin 1.0: 1 fresh point per second is a
+        // breach; 10 000 in a window is healthy.
+        let mut dog = Watchdog::new(floor_for("test-dog-flip", 1_000.0))
+            .with_margin(1.0)
+            .with_breach_windows(2)
+            .with_min_samples(1);
+
+        c.add(1);
+        clock.advance_ms(1_000);
+        w.tick();
+        let v1 = dog.evaluate(&w);
+        assert_eq!(v1.breaches.len(), 1);
+        assert_eq!(v1.consecutive_breaches, 1);
+        assert!(!v1.degraded, "one window is below the threshold");
+
+        c.add(1);
+        clock.advance_ms(1_000);
+        w.tick();
+        let v2 = dog.evaluate(&w);
+        assert_eq!(v2.consecutive_breaches, 2);
+        assert!(v2.degraded, "two consecutive breaches degrade");
+        assert!(v2.breaches[0].observed < v2.breaches[0].floor);
+
+        // A healthy window (well above floor) resets the streak. Tick
+        // the idle gap in 1 s steps so the slow slots rotate out of the
+        // 2 s window (one giant idle slot would stay in the ring and
+        // dilute the rate).
+        for _ in 0..4 {
+            clock.advance_ms(1_000);
+            w.tick();
+        }
+        c.add(10_000);
+        clock.advance_ms(1_000);
+        w.tick();
+        let v3 = dog.evaluate(&w);
+        assert!(v3.breaches.is_empty(), "{v3:?}");
+        assert_eq!(v3.consecutive_breaches, 0);
+        assert!(!v3.degraded);
+    }
+}

@@ -1,0 +1,256 @@
+//! Rolling-window views over the metrics registry.
+//!
+//! The registry's counters and histograms are cumulative
+//! process-lifetime totals — the right shape for batch runs that
+//! export once at exit, and the wrong shape for a long-running
+//! service, where "how fast right now" matters more than "how much
+//! ever". A [`MetricsWindow`] bridges the two without touching the
+//! hot-path instrumentation: on every [`tick`](MetricsWindow::tick) it
+//! snapshots the registry, subtracts the previous snapshot, and pushes
+//! the timestamped delta into a ring bounded by the window width.
+//! Rates and windowed histograms then come from summing the ring —
+//! the cumulative totals stay untouched, so exposition of lifetime
+//! values and windowed views coexist over the same metrics.
+//!
+//! Time comes from an explicit [`Clock`], so tests drive rotation and
+//! rate math deterministically with a
+//! [`ManualClock`](fc_types::ManualClock).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use fc_types::Clock;
+
+use crate::metrics::{self, HistogramSnapshot, MetricsSnapshot};
+
+/// One ring entry: the registry delta accumulated over
+/// `(from_ms, to_ms]`.
+#[derive(Clone, Debug)]
+pub struct WindowSlot {
+    /// Clock reading of the tick that opened this slot's interval
+    /// (the previous tick).
+    pub from_ms: u64,
+    /// Clock reading of the tick that closed this slot.
+    pub to_ms: u64,
+    /// Counter/histogram activity within the interval (gauges carry
+    /// their value at `to_ms`).
+    pub delta: MetricsSnapshot,
+}
+
+/// A rolling window over the metrics registry: a bounded ring of
+/// timestamped snapshot deltas.
+pub struct MetricsWindow {
+    clock: Arc<dyn Clock>,
+    window_ms: u64,
+    last_snapshot: MetricsSnapshot,
+    last_tick_ms: u64,
+    ring: VecDeque<WindowSlot>,
+}
+
+impl MetricsWindow {
+    /// A window keeping the last `window_ms` milliseconds of deltas.
+    /// The registry is snapshotted immediately so the first tick's
+    /// delta covers exactly `[now, first tick]`.
+    pub fn new(window_ms: u64, clock: Arc<dyn Clock>) -> Self {
+        let last_tick_ms = clock.now_ms();
+        Self {
+            clock,
+            window_ms: window_ms.max(1),
+            last_snapshot: metrics::snapshot(),
+            last_tick_ms,
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// The configured window width.
+    pub fn window_ms(&self) -> u64 {
+        self.window_ms
+    }
+
+    /// Closes the current interval: snapshots the registry, pushes the
+    /// delta since the previous tick into the ring, and evicts slots
+    /// that have rotated out of the window. A tick with no elapsed
+    /// time is a no-op (the delta would cover an empty interval).
+    pub fn tick(&mut self) {
+        let now = self.clock.now_ms();
+        if now == self.last_tick_ms {
+            return;
+        }
+        let snap = metrics::snapshot();
+        let delta = snap.delta(&self.last_snapshot);
+        self.ring.push_back(WindowSlot {
+            from_ms: self.last_tick_ms,
+            to_ms: now,
+            delta,
+        });
+        self.last_snapshot = snap;
+        self.last_tick_ms = now;
+        // Rotation: a slot survives while any part of its interval is
+        // inside the window [now - window_ms, now].
+        let horizon = now.saturating_sub(self.window_ms);
+        while self.ring.front().is_some_and(|slot| slot.to_ms <= horizon) {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Slots currently inside the window, oldest first.
+    pub fn slots(&self) -> impl Iterator<Item = &WindowSlot> {
+        self.ring.iter()
+    }
+
+    /// Milliseconds actually covered by the ring (≤ the window width
+    /// until enough ticks have accumulated).
+    pub fn covered_ms(&self) -> u64 {
+        match (self.ring.front(), self.ring.back()) {
+            (Some(first), Some(last)) => last.to_ms - first.from_ms,
+            _ => 0,
+        }
+    }
+
+    /// Total increments of counter `name` inside the window.
+    pub fn windowed_counter(&self, name: &str) -> u64 {
+        self.ring.iter().filter_map(|s| s.delta.counter(name)).sum()
+    }
+
+    /// Increments of counter `name` per second, over the covered span.
+    /// Zero until the window has covered any time at all.
+    pub fn rate_per_sec(&self, name: &str) -> f64 {
+        let covered = self.covered_ms();
+        if covered == 0 {
+            return 0.0;
+        }
+        self.windowed_counter(name) as f64 * 1000.0 / covered as f64
+    }
+
+    /// The histogram activity for `name` inside the window: per-bucket
+    /// counts, sum and count summed across the ring (the bounds are
+    /// fixed at registration, so deltas add bin-wise). `None` when the
+    /// histogram saw no tick inside the window.
+    pub fn windowed_histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut acc: Option<HistogramSnapshot> = None;
+        for slot in &self.ring {
+            let Some(h) = slot.delta.histograms.get(name) else {
+                continue;
+            };
+            match &mut acc {
+                None => acc = Some(h.clone()),
+                Some(total) if total.bounds == h.bounds => {
+                    for (bin, add) in total.bins.iter_mut().zip(&h.bins) {
+                        *bin += add;
+                    }
+                    total.sum += h.sum;
+                    total.count += h.count;
+                }
+                // A re-registration with different bounds cannot occur
+                // (metrics::histogram keeps first-wins bounds); keep
+                // the accumulated view if it somehow did.
+                Some(_) => {}
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_types::ManualClock;
+
+    fn window(clock: &Arc<ManualClock>, width_ms: u64) -> MetricsWindow {
+        MetricsWindow::new(width_ms, Arc::clone(clock) as Arc<dyn Clock>)
+    }
+
+    #[test]
+    fn deltas_land_in_timestamped_slots() {
+        let clock = Arc::new(ManualClock::at(1_000));
+        let mut w = window(&clock, 10_000);
+        let c = metrics::counter("test.window.slots");
+        c.add(3);
+        clock.advance_ms(500);
+        w.tick();
+        c.add(4);
+        clock.advance_ms(500);
+        w.tick();
+        let slots: Vec<_> = w.slots().collect();
+        assert_eq!(slots.len(), 2);
+        assert_eq!((slots[0].from_ms, slots[0].to_ms), (1_000, 1_500));
+        assert_eq!((slots[1].from_ms, slots[1].to_ms), (1_500, 2_000));
+        assert_eq!(slots[0].delta.counter("test.window.slots"), Some(3));
+        assert_eq!(slots[1].delta.counter("test.window.slots"), Some(4));
+        assert_eq!(w.windowed_counter("test.window.slots"), 7);
+    }
+
+    #[test]
+    fn rotation_evicts_slots_past_the_window() {
+        let clock = Arc::new(ManualClock::at(0));
+        let mut w = window(&clock, 2_000);
+        let c = metrics::counter("test.window.rotation");
+        for _ in 0..5 {
+            c.add(10);
+            clock.advance_ms(1_000);
+            w.tick();
+        }
+        // Window = 2 s, ticks every 1 s: only the last two slots fit.
+        assert_eq!(w.slots().count(), 2);
+        assert_eq!(w.covered_ms(), 2_000);
+        assert_eq!(w.windowed_counter("test.window.rotation"), 20);
+    }
+
+    #[test]
+    fn rate_is_window_total_over_covered_span() {
+        let clock = Arc::new(ManualClock::at(0));
+        let mut w = window(&clock, 60_000);
+        let c = metrics::counter("test.window.rate");
+        c.add(30);
+        clock.advance_ms(2_000);
+        w.tick();
+        c.add(10);
+        clock.advance_ms(2_000);
+        w.tick();
+        // 40 increments over 4 covered seconds.
+        assert!((w.rate_per_sec("test.window.rate") - 10.0).abs() < 1e-12);
+        assert_eq!(w.rate_per_sec("test.window.never"), 0.0);
+    }
+
+    #[test]
+    fn zero_elapsed_tick_is_a_no_op() {
+        let clock = Arc::new(ManualClock::at(5));
+        let mut w = window(&clock, 1_000);
+        w.tick();
+        w.tick();
+        assert_eq!(w.slots().count(), 0);
+        assert_eq!(w.covered_ms(), 0);
+    }
+
+    #[test]
+    fn windowed_histograms_sum_bin_wise() {
+        let clock = Arc::new(ManualClock::at(0));
+        let mut w = window(&clock, 10_000);
+        let h = metrics::histogram("test.window.hist", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        clock.advance_ms(1_000);
+        w.tick();
+        h.record(500);
+        clock.advance_ms(1_000);
+        w.tick();
+        let hs = w.windowed_histogram("test.window.hist").unwrap();
+        assert_eq!(hs.bins, vec![1, 1, 1]);
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 555);
+        assert!(w.windowed_histogram("test.window.none").is_none());
+    }
+
+    #[test]
+    fn activity_before_construction_is_not_windowed() {
+        let c = metrics::counter("test.window.preexisting");
+        c.add(100);
+        let clock = Arc::new(ManualClock::at(0));
+        let mut w = window(&clock, 10_000);
+        clock.advance_ms(1_000);
+        w.tick();
+        // The 100 pre-window increments are lifetime totals, not
+        // window activity.
+        assert_eq!(w.windowed_counter("test.window.preexisting"), 0);
+    }
+}

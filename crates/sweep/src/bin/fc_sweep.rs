@@ -21,7 +21,7 @@ use fc_sweep::{
 };
 
 const USAGE: &str = "\
-usage: fc_sweep [serve] [options]
+usage: fc_sweep [serve|status] [options]
 
 serve mode (long-running, no network):
   serve              read grid requests as JSONL from stdin (or a spool
@@ -32,6 +32,26 @@ serve mode (long-running, no network):
                      responses land atomically in DIR/done/<name>.jsonl
   --serve-once       with --spool: answer the requests currently in the
                      spool, then exit (instead of polling forever)
+  --metrics-dir DIR  maintain a live status surface in DIR: metrics.prom
+                     (Prometheus text exposition), health.json
+                     (starting/serving/degraded/draining heartbeat) and
+                     events.jsonl (health transitions, watchdog
+                     breaches), rewritten atomically on a cadence
+  --metrics-cadence-ms N  milliseconds between metrics-dir rewrites
+                     (default 2000)
+  --floor PATH       arm the serve watchdog with the per-design
+                     points/sec floors in PATH (bench_floor.json shape):
+                     sustained below-floor fresh throughput flips
+                     health.json to `degraded`
+  --slow-ms N        capture requests slower than N ms as standalone
+                     Chrome traces under DIR/slow/ (ring-buffered;
+                     requires --metrics-dir)
+
+status mode:
+  status             render a one-screen summary of a serve process's
+                     --metrics-dir (health, error taxonomy, latency
+                     quantiles, watchdog state) and exit; pass the same
+                     --metrics-dir DIR the serve process uses
 
 options:
   --store DIR        back the result store with durable shard files in
@@ -936,9 +956,14 @@ fn run_sampled_mode(
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut serve_mode = false;
+    let mut status_mode = false;
     let mut store_dir: Option<String> = None;
     let mut spool_dir: Option<String> = None;
     let mut serve_once = false;
+    let mut metrics_dir: Option<String> = None;
+    let mut metrics_cadence_ms: u64 = 2_000;
+    let mut floor_path: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut grid = "fig4".to_string();
     let mut designs_arg: Option<String> = None;
     let mut scenarios_arg: Option<String> = None;
@@ -976,9 +1001,27 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "serve" | "--serve" => serve_mode = true,
+            "status" | "--status" => status_mode = true,
             "--store" => store_dir = Some(value(&mut args, "--store")),
             "--spool" => spool_dir = Some(value(&mut args, "--spool")),
             "--serve-once" => serve_once = true,
+            "--metrics-dir" => metrics_dir = Some(value(&mut args, "--metrics-dir")),
+            "--metrics-cadence-ms" => {
+                metrics_cadence_ms = value(&mut args, "--metrics-cadence-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --metrics-cadence-ms value"));
+                if metrics_cadence_ms == 0 {
+                    fail("--metrics-cadence-ms must be at least 1");
+                }
+            }
+            "--floor" => floor_path = Some(value(&mut args, "--floor")),
+            "--slow-ms" => {
+                slow_ms = Some(
+                    value(&mut args, "--slow-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --slow-ms value")),
+                )
+            }
             "--grid" => grid = value(&mut args, "--grid"),
             "--designs" => designs_arg = Some(value(&mut args, "--designs")),
             "--capacities" => {
@@ -1079,6 +1122,16 @@ fn main() {
         }
     }
 
+    if status_mode {
+        let dir =
+            metrics_dir.unwrap_or_else(|| fail("status needs --metrics-dir DIR to read from"));
+        print!(
+            "{}",
+            fc_sweep::status::status_from_dir(std::path::Path::new(&dir))
+        );
+        return;
+    }
+
     if list_grids {
         print_grid_catalogue();
         return;
@@ -1123,6 +1176,29 @@ fn main() {
         if serve_once && spool_dir.is_none() {
             fail("--serve-once requires --spool");
         }
+        if slow_ms.is_some() && metrics_dir.is_none() {
+            fail("--slow-ms requires --metrics-dir (slow traces land under DIR/slow/)");
+        }
+        if floor_path.is_some() && metrics_dir.is_none() {
+            fail("--floor requires --metrics-dir (the watchdog reports through health.json)");
+        }
+        // The monitor goes up before the engine: a scraper sees
+        // `starting` while the durable store loads.
+        let monitor = metrics_dir.as_ref().map(|dir| {
+            let clock: std::sync::Arc<dyn fc_types::Clock> =
+                std::sync::Arc::new(fc_types::WallClock::default());
+            let mut m = fc_sweep::ServiceMonitor::new(std::path::Path::new(dir), clock)
+                .unwrap_or_else(|e| fail(&format!("cannot create metrics dir `{dir}`: {e}")));
+            if let Some(path) = &floor_path {
+                let floor = fc_obs::FloorSpec::from_file(std::path::Path::new(path))
+                    .unwrap_or_else(|e| fail(&e));
+                m = m.with_watchdog(fc_obs::Watchdog::new(floor));
+            }
+            if let Some(ms) = slow_ms {
+                m = m.with_slow_capture(ms, fc_sweep::monitor::DEFAULT_SLOW_KEEP);
+            }
+            std::sync::Arc::new(m)
+        });
         // Responses stream on stdout, so the engine must not print
         // per-point progress there.
         let mut engine = SweepEngine::new().quiet();
@@ -1134,23 +1210,38 @@ fn main() {
                 .with_durable_store(std::path::Path::new(dir))
                 .unwrap_or_else(|e| fail(&format!("cannot open store `{dir}`: {e}")));
         }
+        let watcher = monitor.as_ref().map(|m| {
+            m.set_generation(engine.store().generation());
+            m.mark_serving();
+            fc_sweep::spawn_watcher(std::sync::Arc::clone(m), metrics_cadence_ms)
+        });
         let started = Instant::now();
+        let observed = monitor.as_deref();
         let totals = match &spool_dir {
-            Some(dir) => fc_sweep::serve_spool(
+            Some(dir) => fc_sweep::serve_spool_observed(
                 &engine,
                 std::path::Path::new(dir),
                 &fc_sweep::ServeOptions {
                     once: serve_once,
                     ..Default::default()
                 },
+                observed,
             ),
             None => {
                 let stdin = std::io::stdin();
                 let stdout = std::io::stdout();
-                fc_sweep::serve_jsonl(&engine, stdin.lock(), stdout.lock())
+                fc_sweep::serve_jsonl_observed(&engine, stdin.lock(), stdout.lock(), observed)
             }
         }
         .unwrap_or_else(|e| fail(&format!("serve loop failed: {e}")));
+        if let Some(w) = watcher {
+            w.stop();
+        }
+        if let Some(m) = &monitor {
+            m.set_generation(engine.store().generation());
+            m.mark_draining();
+            m.tick();
+        }
         eprintln!(
             "[fc_sweep] serve: {} request(s), {} point(s) ({} fresh), {} error(s)",
             totals.requests, totals.points, totals.fresh, totals.errors
@@ -1170,6 +1261,12 @@ fn main() {
         return;
     }
 
+    if metrics_dir.is_some() || floor_path.is_some() || slow_ms.is_some() {
+        eprintln!(
+            "[fc_sweep] note: --metrics-dir/--floor/--slow-ms apply to serve and \
+             status modes; batch runs export via --metrics-out / --trace-out"
+        );
+    }
     if sampled && (grid == "mix" || grid == "loaded") {
         fail("--sampled applies to trace-replay grids (fig4/fig5/fig67/designspace/sampled)");
     }

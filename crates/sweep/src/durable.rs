@@ -130,6 +130,10 @@ impl<T> Durable<T> {
             store.migrate_shard_count(on_disk_shards)?;
             generation = store.generation.load(Ordering::Relaxed);
         }
+        // Gauges, not counters: re-opening a store reports its current
+        // shape, it does not accumulate across opens.
+        metrics::gauge("store.shards").set(shards as i64);
+        metrics::gauge("store.generation").set(generation as i64);
         // (Re)write meta so a fresh directory is recognizable and a
         // migrated one records its new shape.
         store.write_meta(shards, generation)?;
@@ -219,6 +223,8 @@ impl<T> Durable<T> {
             Err(_) => return, // no shard file yet: empty shard
         };
         metrics::counter("store.loads").add(1);
+        metrics::counter("store.records_loaded")
+            .add(text.lines().filter(|l| !l.is_empty()).count() as u64);
 
         let mut good_lines: Vec<&str> = Vec::new();
         let mut records: Vec<(PointKey, T)> = Vec::new();

@@ -219,8 +219,16 @@ impl SweepEngine {
         let sim_secs = started.elapsed().as_secs_f64();
         if !memoized {
             // Fresh simulations (not memo recalls) feed the registry,
-            // so counters reflect work actually performed.
+            // so counters reflect work actually performed. The
+            // per-design counter is what the serve watchdog compares
+            // against `bench_floor.json` (same label on both sides).
             report.publish_metrics();
+            metrics::counter_named(&format!(
+                "{}{}",
+                fc_obs::watchdog::FRESH_COUNTER_PREFIX,
+                point.design.label()
+            ))
+            .inc();
         }
         progress.finish_point(&point.label(), memoized);
         (report, sim_secs, memoized)

@@ -27,6 +27,11 @@
 //! * [`serve`] — `fc_sweep serve`: a long-running loop that accepts
 //!   grid requests as JSONL (stdin or a spool directory), diffs them
 //!   against the durable store, and simulates only what's missing.
+//! * [`monitor`] / [`status`] — service-grade observability for the
+//!   serve loop: Prometheus-style exposition and a `health.json`
+//!   heartbeat under `--metrics-dir`, a throughput watchdog against
+//!   `bench_floor.json`, slow-request trace capture, and the
+//!   `fc_sweep status` one-screen renderer.
 //! * [`emit`] — JSON and CSV emitters for result sets, plus the
 //!   `fc_sweep` CLI binary that runs grids from the command line.
 //!
@@ -60,12 +65,14 @@ pub mod emit;
 mod executor;
 pub mod loaded;
 pub mod mix;
+pub mod monitor;
 mod progress;
 mod ring;
 pub mod sampled;
 mod scale;
 pub mod serve;
 mod spec;
+pub mod status;
 mod store;
 mod trace_cache;
 
@@ -73,13 +80,16 @@ pub use durable::{Durable, StoreValue, DEFAULT_DISK_SHARDS};
 pub use executor::{SweepEngine, SweepResult};
 pub use loaded::{run_loaded, LoadedGrid, LoadedResult};
 pub use mix::{run_mix, MixGrid, MixPoint, MixResult};
+pub use monitor::{spawn_watcher, MonitorWatcher, ServiceMonitor};
 pub use progress::{Progress, ProgressSink};
 pub use ring::{HashRing, DEFAULT_VNODES};
 pub use sampled::{
     run_sampled_grid, run_sampled_grid_pit, SampledGrid, SampledPoint, SampledResult,
 };
 pub use scale::RunScale;
-pub use serve::{serve_jsonl, serve_spool, ServeOptions};
+pub use serve::{
+    serve_jsonl, serve_jsonl_observed, serve_spool, serve_spool_observed, ServeOptions,
+};
 pub use spec::{SweepPoint, SweepSpec};
 pub use store::{PointKey, ResultStore};
 pub use trace_cache::TraceCache;

@@ -187,6 +187,20 @@ impl Progress {
     }
 }
 
+impl Drop for Progress {
+    /// Flushes the JSONL sink: point events are written unflushed for
+    /// throughput, and a run that ends without reaching `finish_run`
+    /// (an early return, a panic unwinding the engine) must not lose
+    /// the buffered tail of its event stream.
+    fn drop(&mut self) {
+        if let Some(sink) = &self.jsonl {
+            if let Ok(mut w) = sink.lock() {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,8 +41,17 @@ use fc_trace::WorkloadKind;
 
 use crate::emit;
 use crate::executor::SweepEngine;
+use crate::monitor::ServiceMonitor;
 use crate::scale::RunScale;
 use crate::spec::SweepSpec;
+
+/// Bounds (milliseconds) of the request-latency histograms. Serve
+/// requests span four orders of magnitude — memoized answers in
+/// single-digit ms, cold full-scale grids in the tens of seconds — so
+/// the buckets follow a 1-2-5 decade ladder.
+const LATENCY_BOUNDS_MS: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 30_000,
+];
 
 /// Spool-mode knobs for [`serve_spool`].
 #[derive(Clone, Copy, Debug)]
@@ -182,13 +191,36 @@ fn parse_request(v: &JsonValue) -> Result<ServeRequest, String> {
     Ok(ServeRequest { id, spec })
 }
 
+/// The error taxonomy: what kind of failure a request line produced.
+/// Each kind has its own counter (`serve.errors.<kind>`) next to the
+/// undifferentiated `serve.errors` total, so a scrape distinguishes
+/// garbage input (`parse`) from well-formed-but-invalid grids (`spec`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ErrorKind {
+    /// The line was not valid JSON at all.
+    Parse,
+    /// The JSON parsed but the request failed validation.
+    Spec,
+}
+
+impl ErrorKind {
+    fn counter(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "serve.errors.parse",
+            ErrorKind::Spec => "serve.errors.spec",
+        }
+    }
+}
+
 fn write_error(
     out: &mut impl Write,
     id: &str,
+    kind: ErrorKind,
     error: &str,
     totals: &mut ServeTotals,
 ) -> std::io::Result<()> {
     metrics::counter("serve.errors").add(1);
+    metrics::counter(kind.counter()).add(1);
     totals.errors += 1;
     writeln!(
         out,
@@ -199,25 +231,67 @@ fn write_error(
 }
 
 /// Handles one request line: parse, run the diffed grid, stream the
-/// per-point records and the summary.
+/// per-point records and the summary. With a [`ServiceMonitor`], also
+/// feeds the heartbeat and (when armed) the slow-request capture.
 fn handle_line(
     engine: &SweepEngine,
     line: &str,
     out: &mut impl Write,
     totals: &mut ServeTotals,
+    obs: Option<&ServiceMonitor>,
 ) -> std::io::Result<()> {
     metrics::counter("serve.requests").add(1);
     totals.requests += 1;
+    if let Some(m) = obs {
+        m.note_request();
+    }
+    let mark = obs.and_then(|m| m.request_mark());
+    let started = std::time::Instant::now();
+    let result = answer_line(engine, line, out, totals);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    // The request tag must not leak onto spans recorded between
+    // requests (watcher ticks, spool scans).
+    trace::set_request(None);
+    if let Some(m) = obs {
+        let id = result.as_ref().map(|id| id.as_str()).unwrap_or("");
+        m.finish_request(id, elapsed_ms, mark);
+    }
+    result.map(|_| ())
+}
+
+/// The request-scoped body of [`handle_line`]; returns the request id
+/// (best-effort, empty for unparseable lines).
+fn answer_line(
+    engine: &SweepEngine,
+    line: &str,
+    out: &mut impl Write,
+    totals: &mut ServeTotals,
+) -> std::io::Result<String> {
     let parsed = match JsonValue::parse(line) {
         Ok(v) => v,
-        Err(e) => return write_error(out, "", &format!("bad request JSON: {e}"), totals),
+        Err(e) => {
+            write_error(
+                out,
+                "",
+                ErrorKind::Parse,
+                &format!("bad request JSON: {e}"),
+                totals,
+            )?;
+            return Ok(String::new());
+        }
     };
     let id = request_id(&parsed);
     let request = match parse_request(&parsed) {
         Ok(r) => r,
-        Err(e) => return write_error(out, &id, &e, totals),
+        Err(e) => {
+            write_error(out, &id, ErrorKind::Spec, &e, totals)?;
+            return Ok(id);
+        }
     };
 
+    // Tag every span the request produces — including executor and
+    // store spans on worker threads — with the request id.
+    trace::set_request(Some(&request.id));
     let _span = trace::span_with("serve-request", "serve", || {
         format!("{} ({} points)", request.id, request.spec.len())
     });
@@ -228,6 +302,15 @@ fn handle_line(
     let fresh = results.iter().filter(|r| !r.memoized).count();
     metrics::counter("serve.points").add(results.len() as u64);
     metrics::counter("serve.fresh_points").add(fresh as u64);
+    // Fresh and fully-memoized requests live in different latency
+    // regimes (simulation vs store lookups); mixing them in one
+    // histogram would bury regressions in either.
+    let latency = if fresh > 0 {
+        metrics::histogram("serve.request_latency_ms.fresh", LATENCY_BOUNDS_MS)
+    } else {
+        metrics::histogram("serve.request_latency_ms.memoized", LATENCY_BOUNDS_MS)
+    };
+    latency.record((wall_secs * 1000.0) as u64);
     totals.points += results.len() as u64;
     totals.fresh += fresh as u64;
 
@@ -253,7 +336,8 @@ fn handle_line(
         fresh,
         wall_secs,
         generation
-    )
+    )?;
+    Ok(request.id)
 }
 
 /// Serves grid requests from `input` (one JSON object per line) until
@@ -262,7 +346,19 @@ fn handle_line(
 pub fn serve_jsonl<R: BufRead, W: Write>(
     engine: &SweepEngine,
     input: R,
+    out: W,
+) -> std::io::Result<ServeTotals> {
+    serve_jsonl_observed(engine, input, out, None)
+}
+
+/// [`serve_jsonl`] with an optional [`ServiceMonitor`]: each request
+/// feeds the heartbeat's liveness numbers and, when slow capture is
+/// armed, its span buffer.
+pub fn serve_jsonl_observed<R: BufRead, W: Write>(
+    engine: &SweepEngine,
+    input: R,
     mut out: W,
+    obs: Option<&ServiceMonitor>,
 ) -> std::io::Result<ServeTotals> {
     let mut totals = ServeTotals::default();
     for line in input.lines() {
@@ -271,7 +367,7 @@ pub fn serve_jsonl<R: BufRead, W: Write>(
         if trimmed.is_empty() {
             continue;
         }
-        handle_line(engine, trimmed, &mut out, &mut totals)?;
+        handle_line(engine, trimmed, &mut out, &mut totals, obs)?;
         out.flush()?;
     }
     Ok(totals)
@@ -286,6 +382,17 @@ pub fn serve_spool(
     engine: &SweepEngine,
     dir: &Path,
     opts: &ServeOptions,
+) -> std::io::Result<ServeTotals> {
+    serve_spool_observed(engine, dir, opts, None)
+}
+
+/// [`serve_spool`] with an optional [`ServiceMonitor`] (see
+/// [`serve_jsonl_observed`]).
+pub fn serve_spool_observed(
+    engine: &SweepEngine,
+    dir: &Path,
+    opts: &ServeOptions,
+    obs: Option<&ServiceMonitor>,
 ) -> std::io::Result<ServeTotals> {
     std::fs::create_dir_all(dir)?;
     let done = dir.join("done");
@@ -317,7 +424,7 @@ pub fn serve_spool(
                 if trimmed.is_empty() {
                     continue;
                 }
-                handle_line(engine, trimmed, &mut buf, &mut totals)?;
+                handle_line(engine, trimmed, &mut buf, &mut totals, obs)?;
             }
             // Atomic: a reader of done/ never sees a half-written
             // response file, even if this process is killed.
@@ -417,6 +524,47 @@ mod tests {
         }
         // Errors carry the request id when one was parseable.
         assert!(text.contains("\"id\": \"x\""));
+    }
+
+    #[test]
+    fn error_taxonomy_splits_parse_from_spec() {
+        let before = metrics::snapshot();
+        let engine = engine();
+        let input = "definitely not json\n{\"id\": \"s\", \"scale\": \"galactic\"}\n";
+        let mut out = Vec::new();
+        let totals = serve_jsonl(&engine, Cursor::new(input), &mut out).unwrap();
+        assert_eq!(totals.errors, 2);
+        // The registry is process-global and tests run in parallel, so
+        // assert the delta floor, not an exact count.
+        let delta = metrics::snapshot().delta(&before);
+        assert!(delta.counter("serve.errors.parse").unwrap_or(0) >= 1);
+        assert!(delta.counter("serve.errors.spec").unwrap_or(0) >= 1);
+        assert!(delta.counter("serve.errors").unwrap_or(0) >= 2);
+    }
+
+    #[test]
+    fn answered_requests_record_latency_observations() {
+        let before = metrics::snapshot();
+        let engine = engine();
+        let input = format!("{}\n{}\n", request("lat-cold"), request("lat-warm"));
+        let mut out = Vec::new();
+        serve_jsonl(&engine, Cursor::new(input), &mut out).unwrap();
+        let delta = metrics::snapshot().delta(&before);
+        let fresh = delta
+            .histograms
+            .get("serve.request_latency_ms.fresh")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        let memoized = delta
+            .histograms
+            .get("serve.request_latency_ms.memoized")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert!(fresh >= 1, "cold request observes the fresh histogram");
+        assert!(
+            memoized >= 1,
+            "warm request observes the memoized histogram"
+        );
     }
 
     #[test]

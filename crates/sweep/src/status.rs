@@ -1,0 +1,252 @@
+//! `fc_sweep status` — a one-screen human summary of a serve
+//! process's metrics directory.
+//!
+//! Reads the artifacts a [`ServiceMonitor`](crate::ServiceMonitor)
+//! maintains (`health.json` and `metrics.prom`) and renders the
+//! numbers an operator asks first: is it up, is it keeping up, and
+//! what are request latencies doing. Rendering is split from file I/O
+//! ([`render_status`] takes plain strings) so the formatter is unit
+//! testable without a live service.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use fc_obs::expo::{EXPOSITION_FILE, HEALTH_FILE};
+use fc_sim::json::JsonValue;
+
+/// A minimal scrape of Prometheus exposition text: plain samples and
+/// cumulative histogram buckets, keyed by sanitized metric name.
+#[derive(Default)]
+struct PromScrape {
+    samples: BTreeMap<String, f64>,
+    /// Base name → `(le, cumulative count)` pairs in file order.
+    buckets: BTreeMap<String, Vec<(f64, u64)>>,
+}
+
+fn parse_prometheus(text: &str) -> PromScrape {
+    let mut scrape = PromScrape::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if let Some((base, labels)) = name_part.split_once('{') {
+            let Some(base) = base.strip_suffix("_bucket") else {
+                continue;
+            };
+            let Some(le) = labels
+                .strip_prefix("le=\"")
+                .and_then(|rest| rest.strip_suffix("\"}"))
+            else {
+                continue;
+            };
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().unwrap_or(f64::INFINITY)
+            };
+            if let Ok(count) = value_part.parse::<u64>() {
+                scrape
+                    .buckets
+                    .entry(base.to_string())
+                    .or_default()
+                    .push((bound, count));
+            }
+        } else if let Ok(v) = value_part.parse::<f64>() {
+            scrape.samples.insert(name_part.to_string(), v);
+        }
+    }
+    scrape
+}
+
+impl PromScrape {
+    fn counter(&self, name: &str) -> u64 {
+        self.samples.get(name).copied().unwrap_or(0.0) as u64
+    }
+
+    /// The smallest bucket bound covering quantile `q` of the
+    /// histogram's samples (the standard upper-bound estimate from
+    /// cumulative buckets). `None` for an absent or empty histogram.
+    fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let buckets = self.buckets.get(name)?;
+        let total = buckets.last().map(|(_, c)| *c)?;
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        buckets
+            .iter()
+            .find(|(_, c)| *c >= target)
+            .map(|(le, _)| *le)
+    }
+}
+
+fn fmt_quantiles(scrape: &PromScrape, name: &str) -> String {
+    let count = scrape.counter(&format!("{name}_count"));
+    if count == 0 {
+        return "no samples".to_string();
+    }
+    let q = |q: f64| match scrape.quantile(name, q) {
+        Some(le) if le.is_finite() => format!("≤{le:.0}ms"),
+        Some(_) => "overflow".to_string(),
+        None => "-".to_string(),
+    };
+    format!(
+        "p50 {}  p90 {}  p99 {}  (n={count})",
+        q(0.50),
+        q(0.90),
+        q(0.99)
+    )
+}
+
+/// Renders the one-screen status summary from the raw artifact texts
+/// (`None` when the corresponding file is missing).
+pub fn render_status(health_json: Option<&str>, metrics_text: Option<&str>) -> String {
+    let mut out = String::new();
+
+    match health_json.and_then(|t| JsonValue::parse(t).ok()) {
+        Some(h) => {
+            let field_str = |name: &str| {
+                h.get(name)
+                    .and_then(|v| v.as_str().ok())
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            let field_f64 = |name: &str| h.get(name).and_then(|v| v.as_f64().ok());
+            let state = field_str("state");
+            let uptime = field_f64("uptime_secs").unwrap_or(0.0);
+            let requests = field_f64("requests").unwrap_or(0.0) as u64;
+            let generation = match h.get("generation").and_then(|v| v.as_u64().ok()) {
+                Some(g) => format!(", store generation {g}"),
+                None => String::new(),
+            };
+            let last = match field_f64("last_request_age_secs") {
+                Some(age) => format!("last request {age:.1}s ago"),
+                None => "no requests yet".to_string(),
+            };
+            out.push_str(&format!(
+                "fc_sweep serve — {state} (up {uptime:.1}s, {requests} request(s), \
+                 {last}{generation})\n"
+            ));
+            if let Some(note) = h.get("note").and_then(|v| v.as_str().ok()) {
+                out.push_str(&format!("  note:     {note}\n"));
+            }
+        }
+        None => out.push_str("fc_sweep serve — no health.json (service not running here?)\n"),
+    }
+
+    let Some(scrape) = metrics_text.map(parse_prometheus) else {
+        out.push_str("  (no metrics.prom exposition found)\n");
+        return out;
+    };
+    out.push_str(&format!(
+        "  requests: {} handled, {} error(s) ({} parse / {} spec)\n",
+        scrape.counter("serve_requests"),
+        scrape.counter("serve_errors"),
+        scrape.counter("serve_errors_parse"),
+        scrape.counter("serve_errors_spec"),
+    ));
+    out.push_str(&format!(
+        "  points:   {} served, {} fresh\n",
+        scrape.counter("serve_points"),
+        scrape.counter("serve_fresh_points"),
+    ));
+    out.push_str(&format!(
+        "  store:    {} hit(s) / {} miss(es)\n",
+        scrape.counter("store_hits"),
+        scrape.counter("store_misses"),
+    ));
+    out.push_str(&format!(
+        "  latency (fresh):    {}\n",
+        fmt_quantiles(&scrape, "serve_request_latency_ms_fresh")
+    ));
+    out.push_str(&format!(
+        "  latency (memoized): {}\n",
+        fmt_quantiles(&scrape, "serve_request_latency_ms_memoized")
+    ));
+    out.push_str(&format!(
+        "  watchdog: {} breach(es), {} degraded window(s), {} slow request(s) captured\n",
+        scrape.counter("watchdog_breaches"),
+        scrape.counter("watchdog_degraded_windows"),
+        scrape.counter("serve_slow_requests"),
+    ));
+    out
+}
+
+/// Reads a metrics directory and renders its status summary. Missing
+/// files render as explicit "missing" lines rather than errors — a
+/// half-written directory is a state worth reporting, not a crash.
+pub fn status_from_dir(dir: &Path) -> String {
+    let health = std::fs::read_to_string(dir.join(HEALTH_FILE)).ok();
+    let metrics = std::fs::read_to_string(dir.join(EXPOSITION_FILE)).ok();
+    render_status(health.as_deref(), metrics.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEALTH: &str = r#"{"state": "serving", "generation": 3,
+        "uptime_secs": 42.500, "last_request_age_secs": 1.250,
+        "requests": 7, "note": null}"#;
+
+    const METRICS: &str = "\
+# TYPE serve_requests counter
+serve_requests 7
+# TYPE serve_errors counter
+serve_errors 2
+# TYPE serve_errors_parse counter
+serve_errors_parse 1
+# TYPE serve_errors_spec counter
+serve_errors_spec 1
+# TYPE serve_points counter
+serve_points 40
+# TYPE serve_fresh_points counter
+serve_fresh_points 12
+# TYPE store_hits counter
+store_hits 28
+# TYPE store_misses counter
+store_misses 12
+# TYPE serve_request_latency_ms_fresh histogram
+serve_request_latency_ms_fresh_bucket{le=\"10\"} 1
+serve_request_latency_ms_fresh_bucket{le=\"100\"} 4
+serve_request_latency_ms_fresh_bucket{le=\"+Inf\"} 5
+serve_request_latency_ms_fresh_sum 260
+serve_request_latency_ms_fresh_count 5
+";
+
+    #[test]
+    fn renders_health_and_counters() {
+        let out = render_status(Some(HEALTH), Some(METRICS));
+        assert!(out.contains("serving"), "{out}");
+        assert!(out.contains("up 42.5s"), "{out}");
+        assert!(out.contains("7 request(s)"), "{out}");
+        assert!(out.contains("store generation 3"), "{out}");
+        assert!(
+            out.contains("7 handled, 2 error(s) (1 parse / 1 spec)"),
+            "{out}"
+        );
+        assert!(out.contains("40 served, 12 fresh"), "{out}");
+        assert!(out.contains("28 hit(s) / 12 miss(es)"), "{out}");
+    }
+
+    #[test]
+    fn quantiles_come_from_cumulative_buckets() {
+        let out = render_status(Some(HEALTH), Some(METRICS));
+        // 5 samples: p50 → 3rd sample → le=100; p90/p99 → 5th → +Inf.
+        assert!(out.contains("p50 ≤100ms"), "{out}");
+        assert!(out.contains("p90 overflow"), "{out}");
+        assert!(out.contains("(n=5)"), "{out}");
+        assert!(out.contains("latency (memoized): no samples"), "{out}");
+    }
+
+    #[test]
+    fn missing_artifacts_render_not_crash() {
+        let out = render_status(None, None);
+        assert!(out.contains("no health.json"), "{out}");
+        assert!(out.contains("no metrics.prom"), "{out}");
+    }
+}

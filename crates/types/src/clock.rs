@@ -1,0 +1,121 @@
+//! A shared clock abstraction for time-dependent runtime components.
+//!
+//! The observability runtime (rolling metric windows, health
+//! heartbeats, the serve watchdog) is driven by elapsed time, which
+//! makes it untestable against the wall clock. Every such component
+//! takes a [`Clock`] instead: production code hands it a [`WallClock`]
+//! (monotonic, `Instant`-backed), tests hand it a [`ManualClock`] they
+//! advance explicitly, so window rotation and degradation detection
+//! are exercised deterministically.
+//!
+//! Milliseconds since an arbitrary per-clock epoch are the unit: the
+//! consumers only ever subtract two readings, so the epoch cancels.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic source of elapsed milliseconds.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since this clock's epoch. Must never decrease.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production clock: monotonic milliseconds since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// A test clock that only moves when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_ms`.
+    pub fn at(start_ms: u64) -> Self {
+        Self {
+            now_ms: AtomicU64::new(start_ms),
+        }
+    }
+
+    /// Advances the clock by `delta_ms`.
+    pub fn advance_ms(&self, delta_ms: u64) {
+        self.now_ms.fetch_add(delta_ms, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now_ms(&self) -> u64 {
+        (**self).now_ms()
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now_ms(&self) -> u64 {
+        (**self).now_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_only_on_request() {
+        let c = ManualClock::at(100);
+        assert_eq!(c.now_ms(), 100);
+        assert_eq!(c.now_ms(), 100);
+        c.advance_ms(250);
+        assert_eq!(c.now_ms(), 350);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_impls_forward_through_arc_and_ref() {
+        let c = Arc::new(ManualClock::at(7));
+        fn read(c: impl Clock) -> u64 {
+            c.now_ms()
+        }
+        assert_eq!(read(Arc::clone(&c)), 7);
+        assert_eq!(read(&*c), 7);
+        let dyn_clock: Arc<dyn Clock> = c;
+        assert_eq!(dyn_clock.now_ms(), 7);
+    }
+}

@@ -38,6 +38,7 @@
 mod access;
 mod addr;
 mod blockstate;
+mod clock;
 mod fnv;
 mod footprint;
 mod geometry;
@@ -47,6 +48,7 @@ mod util;
 pub use access::{AccessKind, CoreId, MemAccess};
 pub use addr::{BlockAddr, PageAddr, Pc, PhysAddr};
 pub use blockstate::{BlockState, BlockStateVec};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use fnv::{fnv1a, mix64, FnvBuildHasher, FnvHasher, FNV_OFFSET, FNV_PRIME};
 pub use footprint::Footprint;
 pub use geometry::PageGeometry;

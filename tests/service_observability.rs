@@ -1,0 +1,264 @@
+//! Tier-1 guarantees of the serve observability surface
+//! (`fc_sweep serve --metrics-dir`):
+//!
+//! 1. **Deterministic heartbeat** — a spool serve run with a
+//!    [`ServiceMonitor`] on a [`ManualClock`] walks the health state
+//!    machine starting → serving (→ draining) with every transition
+//!    recorded in `events.jsonl`.
+//! 2. **Faithful exposition** — the Prometheus text written on a tick
+//!    bit-matches [`fc_obs::expo::prometheus_text`] over the live
+//!    registry snapshot: what a scraper reads *is* the registry.
+//! 3. **Latency coverage** — every answered request lands one
+//!    observation in the fresh or memoized request-latency histogram.
+//! 4. **Watchdog flip** — a synthetic floor far above achievable
+//!    throughput flips health to `degraded` and logs the breach.
+//! 5. **Zero interference** — serving with the full observability
+//!    stack on (monitor + slow-request capture) returns point records
+//!    bit-identical to an unobserved serve.
+//!
+//! The metrics registry and trace sink are process-global, so every
+//! test serializes on one mutex (parallel test *binaries* are separate
+//! processes and do not share the registry).
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fc_obs::expo::{EXPOSITION_FILE, HEALTH_FILE};
+use fc_obs::{expo, metrics, trace, FloorSpec, HealthState, Watchdog};
+use fc_sweep::monitor::EVENTS_FILE;
+use fc_sweep::{serve_jsonl, serve_jsonl_observed, serve_spool_observed, ServeOptions};
+use fc_sweep::{ServiceMonitor, SweepEngine};
+use fc_types::{Clock, ManualClock};
+
+/// Serializes tests that touch the global registry / trace sink.
+fn gate() -> &'static Mutex<()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fc-svc-obs-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine() -> SweepEngine {
+    SweepEngine::new().with_threads(2).quiet()
+}
+
+fn request(id: &str, designs: &str) -> String {
+    format!(
+        "{{\"id\": \"{id}\", \"designs\": \"{designs}\", \
+         \"capacities\": [64], \"workloads\": [\"web search\"], \
+         \"scale\": \"tiny\"}}"
+    )
+}
+
+#[test]
+fn spool_serve_walks_health_and_exposes_the_registry() {
+    let _gate = gate().lock().unwrap();
+    let spool = tmp_dir("spool");
+    let mdir = tmp_dir("metrics");
+    std::fs::create_dir_all(&spool).unwrap();
+
+    let clock = Arc::new(ManualClock::at(0));
+    let monitor = ServiceMonitor::new(&mdir, Arc::clone(&clock) as Arc<dyn Clock>).unwrap();
+
+    // The very first heartbeat, before any engine exists, is `starting`.
+    let health = std::fs::read_to_string(mdir.join(HEALTH_FILE)).unwrap();
+    assert!(health.contains("\"state\": \"starting\""), "{health}");
+
+    clock.advance_ms(500);
+    monitor.mark_serving();
+    let health = std::fs::read_to_string(mdir.join(HEALTH_FILE)).unwrap();
+    assert!(health.contains("\"state\": \"serving\""), "{health}");
+
+    // Two requests in one spool file: a cold one and its memoized twin.
+    std::fs::write(
+        spool.join("req.json"),
+        format!(
+            "{}\n{}\n",
+            request("cold", "baseline,footprint"),
+            request("warm", "baseline,footprint")
+        ),
+    )
+    .unwrap();
+
+    let before = metrics::snapshot();
+    let engine = engine();
+    let totals = serve_spool_observed(
+        &engine,
+        &spool,
+        &ServeOptions {
+            once: true,
+            ..Default::default()
+        },
+        Some(&monitor),
+    )
+    .unwrap();
+    assert_eq!(totals.requests, 2);
+    assert_eq!(totals.fresh, 2, "only the cold request simulates");
+
+    // Every answered request left exactly one latency observation, in
+    // the histogram matching its regime.
+    let delta = metrics::snapshot().delta(&before);
+    let fresh = delta
+        .histograms
+        .get("serve.request_latency_ms.fresh")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    let memoized = delta
+        .histograms
+        .get("serve.request_latency_ms.memoized")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert_eq!(fresh, 1, "cold request observes the fresh histogram");
+    assert_eq!(memoized, 1, "warm request observes the memoized one");
+
+    // A tick publishes the exposition; what lands on disk bit-matches
+    // the registry rendered through the same exporter (no other thread
+    // is mutating the registry while the gate is held).
+    clock.advance_ms(1_000);
+    monitor.tick();
+    let on_disk = std::fs::read_to_string(mdir.join(EXPOSITION_FILE)).unwrap();
+    assert_eq!(
+        on_disk,
+        expo::prometheus_text(&metrics::snapshot()),
+        "scrape file diverged from the registry"
+    );
+    assert!(on_disk.contains("serve_requests"), "{on_disk}");
+    assert!(
+        on_disk.contains("serve_request_latency_ms_fresh_bucket"),
+        "{on_disk}"
+    );
+
+    monitor.mark_draining();
+    let events = std::fs::read_to_string(mdir.join(EVENTS_FILE)).unwrap();
+    assert!(
+        events.contains("\"from\": \"starting\", \"to\": \"serving\""),
+        "{events}"
+    );
+    assert!(
+        events.contains("\"from\": \"serving\", \"to\": \"draining\""),
+        "{events}"
+    );
+
+    let health = monitor.health();
+    assert_eq!(health.state, HealthState::Draining);
+    assert_eq!(health.requests, 2);
+
+    std::fs::remove_dir_all(&spool).ok();
+    std::fs::remove_dir_all(&mdir).ok();
+}
+
+#[test]
+fn inflated_floor_flips_health_to_degraded() {
+    let _gate = gate().lock().unwrap();
+    let mdir = tmp_dir("degraded");
+
+    // A floor no machine reaches: any judged window breaches. The
+    // single-window threshold and min_samples=1 remove the hysteresis
+    // so one tiny request is enough to flip.
+    let floor = FloorSpec::parse(r#"{"designs": {"Baseline": 1000000000.0}}"#).unwrap();
+    let clock = Arc::new(ManualClock::at(0));
+    let monitor = ServiceMonitor::new(&mdir, Arc::clone(&clock) as Arc<dyn Clock>)
+        .unwrap()
+        .with_watchdog(
+            Watchdog::new(floor)
+                .with_breach_windows(1)
+                .with_min_samples(1),
+        );
+    monitor.mark_serving();
+
+    let engine = engine();
+    let mut out = Vec::new();
+    let input = std::io::Cursor::new(request("slowpoke", "baseline"));
+    let totals = serve_jsonl_observed(&engine, input, &mut out, Some(&monitor)).unwrap();
+    assert_eq!(totals.fresh, 1, "the baseline point simulates fresh");
+
+    clock.advance_ms(1_000);
+    monitor.tick();
+
+    assert_eq!(monitor.health().state, HealthState::Degraded);
+    let health = std::fs::read_to_string(mdir.join(HEALTH_FILE)).unwrap();
+    assert!(health.contains("\"state\": \"degraded\""), "{health}");
+    assert!(
+        health.contains("below floor"),
+        "note names the cause: {health}"
+    );
+
+    let events = std::fs::read_to_string(mdir.join(EVENTS_FILE)).unwrap();
+    assert!(
+        events.contains("\"event\": \"watchdog-breach\""),
+        "{events}"
+    );
+    assert!(events.contains("\"design\": \"Baseline\""), "{events}");
+    assert!(
+        events.contains("\"from\": \"serving\", \"to\": \"degraded\""),
+        "{events}"
+    );
+
+    std::fs::remove_dir_all(&mdir).ok();
+}
+
+#[test]
+fn observed_serve_returns_bit_identical_point_records() {
+    let _gate = gate().lock().unwrap();
+    let mdir = tmp_dir("interference");
+
+    let input = request("twin", "baseline,footprint");
+
+    // Unobserved run.
+    let mut plain = Vec::new();
+    serve_jsonl(&engine(), std::io::Cursor::new(&input), &mut plain).unwrap();
+
+    // Fully observed run: monitor, watchdog off, slow capture armed at
+    // 0 ms so *every* request dumps a trace — the heaviest code path.
+    let clock = Arc::new(ManualClock::at(0));
+    let monitor = ServiceMonitor::new(&mdir, Arc::clone(&clock) as Arc<dyn Clock>)
+        .unwrap()
+        .with_slow_capture(0, 2);
+    monitor.mark_serving();
+    let mut observed = Vec::new();
+    serve_jsonl_observed(
+        &engine(),
+        std::io::Cursor::new(&input),
+        &mut observed,
+        Some(&monitor),
+    )
+    .unwrap();
+    clock.advance_ms(1_000);
+    monitor.tick();
+
+    let points = |buf: &[u8]| -> Vec<String> {
+        String::from_utf8(buf.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| l.starts_with("{\"type\": \"point\""))
+            .map(str::to_string)
+            .collect()
+    };
+    let plain_points = points(&plain);
+    let observed_points = points(&observed);
+    assert_eq!(plain_points.len(), 2);
+    assert_eq!(
+        plain_points, observed_points,
+        "observability perturbed the point records"
+    );
+
+    // The slow capture actually fired.
+    let slow = std::fs::read_dir(mdir.join(fc_sweep::monitor::SLOW_DIR))
+        .unwrap()
+        .count();
+    assert!(slow >= 1, "0 ms threshold captures every request");
+
+    // Leave the global trace sink the way we found it.
+    trace::disable();
+    let _ = trace::take_events();
+
+    std::fs::remove_dir_all(&mdir).ok();
+}
